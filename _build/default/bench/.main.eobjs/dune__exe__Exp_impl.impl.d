@@ -1,0 +1,1 @@
+bench/exp_impl.ml: Float List Measure Printf Profile Report String Sweep Zkopt_core Zkopt_report Zkopt_stats Zkopt_workloads Zkopt_zkvm

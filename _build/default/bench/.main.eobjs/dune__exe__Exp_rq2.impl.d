@@ -1,0 +1,1 @@
+bench/exp_rq2.ml: Hashtbl List Printf Report Stats Sweep Zkopt_autotune Zkopt_core Zkopt_passes Zkopt_report Zkopt_stats Zkopt_workloads Zkopt_zkvm

@@ -1,0 +1,1 @@
+bench/exp_rq3.ml: Float List Report Stats Sweep Zkopt_passes Zkopt_report Zkopt_stats

@@ -1,0 +1,1 @@
+bench/exp_sp1bug.ml: List Measure Profile Report String Zkopt_core Zkopt_passes Zkopt_report Zkopt_workloads Zkopt_zkvm

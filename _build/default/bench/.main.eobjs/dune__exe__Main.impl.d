@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_cases Exp_impl Exp_rq1 Exp_rq2 Exp_rq3 Exp_sp1bug List Micro Option Printf String Sweep Sys Unix Zkopt_workloads

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance Lazy List Measure Staged Test Time Toolkit Zkopt_core Zkopt_passes Zkopt_report Zkopt_riscv Zkopt_runtime Zkopt_workloads Zkopt_zkvm

@@ -1,0 +1,1 @@
+bench/sweep.ml: Hashtbl Int64 List Measure Printf Profile Zkopt_core Zkopt_stats Zkopt_workloads Zkopt_zkvm

@@ -1,0 +1,148 @@
+(** RQ2 artifacts: Fig. 5 (standard -O levels), Fig. 6 (autotuning vs
+    -O3 on the NPB and crypto suites), and the best/worst subsequence
+    mining. *)
+
+open Zkopt_report
+open Zkopt_stats
+module Catalog = Zkopt_passes.Catalog
+
+let fig5 sweep =
+  Report.section "Fig. 5 — standard optimization levels vs baseline";
+  Report.paper
+    "avg exec +60.5%% (R0) / +47.3%% (SP1); prove +55.5%% / +51.1%%; -O3 \
+     best, -Oz weakest; -O0 regresses 19 programs on R0 and 9 on SP1";
+  let rows =
+    List.map
+      (fun lvl ->
+        let name = Catalog.level_name lvl in
+        let avg vm metric =
+          Stats.mean
+            (List.map
+               (fun p -> Sweep.improvement sweep ~program:p ~profile:name ~vm ~metric)
+               (Sweep.all_programs sweep))
+        in
+        let regressions vm =
+          List.length
+            (List.filter
+               (fun p ->
+                 Sweep.improvement sweep ~program:p ~profile:name ~vm
+                   ~metric:Sweep.Exec
+                 < -1.0)
+               (Sweep.all_programs sweep))
+        in
+        [ name;
+          Report.pct (avg `R0 Sweep.Exec); Report.pct (avg `R0 Sweep.Prove);
+          Report.pct (avg `Sp1 Sweep.Exec); Report.pct (avg `Sp1 Sweep.Prove);
+          Report.int_s (regressions `R0); Report.int_s (regressions `Sp1) ])
+      Catalog.all_levels
+  in
+  Report.table
+    ~headers:
+      [ "level"; "R0 exec"; "R0 prove"; "SP1 exec"; "SP1 prove"; "R0 regr";
+        "SP1 regr" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6 — autotuning NPB + crypto                                    *)
+(* ------------------------------------------------------------------ *)
+
+let autotune_suites ~size ~iterations sweep =
+  Report.section
+    (Printf.sprintf
+       "Fig. 6 — autotuned pass sequences vs -O3, NPB & crypto suites (GA, %d evals/prog)"
+       iterations);
+  Report.paper
+    "NPB: ~+17-19%% exec/prove on both zkVMs, npb-sp >2x; crypto: +10-12%% \
+     exec, +3.5-6.8%% prove (precompiles flatten gains)";
+  Report.note
+    "(the paper runs OpenTuner for 1600 evaluations; scale with ZKOPT_GA_ITERS)";
+  let progs =
+    Zkopt_workloads.Workload.by_suite "npb"
+    @ Zkopt_workloads.Workload.by_suite "a16z"
+    @ Zkopt_workloads.Workload.by_suite "succinct"
+  in
+  let results = ref [] in
+  let rows =
+    List.concat_map
+      (fun (w : Zkopt_workloads.Workload.t) ->
+        List.map
+          (fun (label, vm_cfg, vm) ->
+            let build () = w.Zkopt_workloads.Workload.build size in
+            let ga =
+              Zkopt_autotune.Autotune.run ~seed:(Hashtbl.hash w.name)
+                ~iterations ~build vm_cfg
+            in
+            results := (w.name, label, ga) :: !results;
+            (* measure the best genome end-to-end vs -O3 *)
+            let o3 =
+              Sweep.get sweep w.Zkopt_workloads.Workload.name "-O3"
+            in
+            let best_profile =
+              Zkopt_core.Profile.Custom
+                (ga.Zkopt_autotune.Autotune.best.genome,
+                 Zkopt_passes.Pass.standard_config)
+            in
+            let c = Zkopt_core.Measure.prepare ~build best_profile in
+            let tuned = Zkopt_core.Measure.run_zkvm vm_cfg c in
+            let o3m = match vm with `R0 -> o3.Sweep.r0 | `Sp1 -> o3.Sweep.sp1 in
+            let exec_speedup =
+              Stats.improvement_pct
+                ~base:o3m.Zkopt_core.Measure.exec_time_s
+                tuned.Zkopt_core.Measure.exec_time_s
+            in
+            let prove_speedup =
+              Stats.improvement_pct
+                ~base:o3m.Zkopt_core.Measure.prove_time_s
+                tuned.Zkopt_core.Measure.prove_time_s
+            in
+            [ w.Zkopt_workloads.Workload.name; label;
+              Report.pct exec_speedup; Report.pct prove_speedup;
+              string_of_int (List.length ga.Zkopt_autotune.Autotune.best.genome) ])
+          [ ("risc0", Zkopt_zkvm.Config.risc0, `R0);
+            ("sp1", Zkopt_zkvm.Config.sp1, `Sp1) ])
+      progs
+  in
+  Report.table
+    ~headers:[ "program"; "zkVM"; "exec vs -O3"; "prove vs -O3"; "seq len" ]
+    rows;
+  !results
+
+let subsequences results =
+  Report.section "§4.2 — pass frequencies in best/worst tuned sequences";
+  Report.paper
+    "inline in 573/580 best sequences; licm in 385 worst; inline-then-licm \
+     appears in both camps (context-sensitive)";
+  let best_seqs =
+    List.concat_map
+      (fun (_, _, (ga : Zkopt_autotune.Autotune.result)) ->
+        List.map (fun i -> i.Zkopt_autotune.Autotune.genome) ga.top5)
+      results
+  in
+  let worst_seqs =
+    List.concat_map
+      (fun (_, _, (ga : Zkopt_autotune.Autotune.result)) ->
+        List.map (fun i -> i.Zkopt_autotune.Autotune.genome) ga.bottom5)
+      results
+  in
+  let nb = List.length best_seqs and nw = List.length worst_seqs in
+  let row pass =
+    [ pass;
+      Printf.sprintf "%d/%d" (Zkopt_autotune.Autotune.count_containing pass best_seqs) nb;
+      Printf.sprintf "%d/%d" (Zkopt_autotune.Autotune.count_containing pass worst_seqs) nw ]
+  in
+  Report.table ~headers:[ "pass"; "in best-5 seqs"; "in worst-5 seqs" ]
+    (List.map row
+       [ "inline"; "licm"; "mem2reg"; "simplifycfg"; "loop-unroll"; "reg2mem";
+         "loop-extract"; "dce" ]);
+  Report.note "ordered pair (a before b):";
+  Report.note "  inline..licm  in best: %d   in worst: %d"
+    (Zkopt_autotune.Autotune.count_ordered_pair "inline" "licm" best_seqs)
+    (Zkopt_autotune.Autotune.count_ordered_pair "inline" "licm" worst_seqs);
+  Report.note "  licm..inline  in best: %d   in worst: %d"
+    (Zkopt_autotune.Autotune.count_ordered_pair "licm" "inline" best_seqs)
+    (Zkopt_autotune.Autotune.count_ordered_pair "licm" "inline" worst_seqs)
+
+let run ~size ~iterations sweep =
+  fig5 sweep;
+  let results = autotune_suites ~size ~iterations sweep in
+  subsequences results

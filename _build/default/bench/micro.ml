@@ -1,0 +1,66 @@
+(** Bechamel micro-benchmarks of the simulator itself: compilation,
+    emulation, zkVM accounting, CPU timing model, and the prover model.
+    (The paper-shaped experiments live in the other modules; this block
+    measures the infrastructure's own throughput.) *)
+
+open Bechamel
+open Toolkit
+
+let quick_module () =
+  (Zkopt_workloads.Workload.find "fibonacci").Zkopt_workloads.Workload.build
+    Zkopt_workloads.Workload.Quick
+
+let prepared =
+  lazy
+    (let build () =
+       let m = quick_module () in
+       Zkopt_runtime.Runtime.link m;
+       m
+     in
+     Zkopt_core.Measure.prepare ~build Zkopt_core.Profile.Baseline)
+
+let tests () =
+  [
+    Test.make ~name:"build-ir" (Staged.stage (fun () -> ignore (quick_module ())));
+    Test.make ~name:"o3-pipeline"
+      (Staged.stage (fun () ->
+           let m = quick_module () in
+           Zkopt_runtime.Runtime.link m;
+           Zkopt_passes.Catalog.run_level Zkopt_passes.Catalog.O3 m));
+    Test.make ~name:"codegen"
+      (Staged.stage (fun () ->
+           let m = quick_module () in
+           Zkopt_runtime.Runtime.link m;
+           ignore (Zkopt_riscv.Codegen.compile m)));
+    Test.make ~name:"zkvm-execute"
+      (Staged.stage (fun () ->
+           let c = Lazy.force prepared in
+           ignore
+             (Zkopt_core.Measure.run_zkvm Zkopt_zkvm.Config.risc0 c)));
+    Test.make ~name:"cpu-model"
+      (Staged.stage (fun () ->
+           let c = Lazy.force prepared in
+           ignore (Zkopt_core.Measure.run_cpu c)));
+  ]
+
+let run () =
+  Zkopt_report.Report.section "Simulator micro-benchmarks (bechamel)";
+  let instances = [ Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) ~kde:None () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      Hashtbl.iter
+        (fun name raw ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Measure.run |])
+              Instance.monotonic_clock raw
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] ->
+            Zkopt_report.Report.note "%-40s %12.0f ns/run" name est
+          | _ -> ())
+        results)
+    (tests ())

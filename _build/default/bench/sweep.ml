@@ -1,0 +1,99 @@
+(** The shared measurement sweep: 58 programs x 71 profiles x 2 zkVMs,
+    plus the CPU model for the baseline and single-pass profiles (RQ3).
+    Results are computed once and shared by every RQ1/RQ2/RQ3 block. *)
+
+open Zkopt_core
+
+type point = {
+  program : string;
+  suite : string;
+  profile : string;
+  r0 : Measure.zk_metrics;
+  sp1 : Measure.zk_metrics;
+  cpu : Measure.cpu_metrics option;
+}
+
+type t = {
+  points : (string * string, point) Hashtbl.t; (* (program, profile) *)
+  programs : Zkopt_workloads.Workload.t list;
+  size : Zkopt_workloads.Workload.size;
+}
+
+let profile_names = List.map Profile.name Profile.all_71
+
+let measure_one ~size ~with_cpu (w : Zkopt_workloads.Workload.t) profile =
+  let build () = w.Zkopt_workloads.Workload.build size in
+  let c = Measure.prepare ~build profile in
+  let r0 = Measure.run_zkvm Zkopt_zkvm.Config.risc0 c in
+  let sp1 = Measure.run_zkvm Zkopt_zkvm.Config.sp1 c in
+  let cpu = if with_cpu then Some (Measure.run_cpu c) else None in
+  {
+    program = w.Zkopt_workloads.Workload.name;
+    suite = w.Zkopt_workloads.Workload.suite;
+    profile = Profile.name profile;
+    r0;
+    sp1;
+    cpu;
+  }
+
+let run ?(progress = true) ~size () : t =
+  let programs = Zkopt_workloads.Suite.all () in
+  let points = Hashtbl.create 4096 in
+  let total = List.length programs * List.length Profile.all_71 in
+  let done_ = ref 0 in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun profile ->
+          let with_cpu =
+            match profile with
+            | Profile.Baseline | Profile.Single_pass _ -> true
+            | _ -> false
+          in
+          let p = measure_one ~size ~with_cpu w profile in
+          (* cross-check: optimized binaries must preserve the checksum *)
+          let base_key = (p.program, "baseline") in
+          (match Hashtbl.find_opt points base_key with
+          | Some base
+            when not
+                   (Int64.equal base.r0.Measure.exit_value
+                      p.r0.Measure.exit_value) ->
+            failwith
+              (Printf.sprintf "MISCOMPILE: %s under %s changed its checksum"
+                 p.program p.profile)
+          | _ -> ());
+          Hashtbl.replace points (p.program, p.profile) p;
+          incr done_;
+          if progress && !done_ mod 200 = 0 then
+            Printf.eprintf "  sweep: %d/%d\n%!" !done_ total)
+        Profile.all_71)
+    programs;
+  { points; programs; size }
+
+let get t program profile = Hashtbl.find t.points (program, profile)
+
+type metric = Cycles | Exec | Prove
+
+let value vm metric (p : point) =
+  let zk = match vm with `R0 -> p.r0 | `Sp1 -> p.sp1 in
+  match metric with
+  | Cycles -> float_of_int zk.Measure.cycles
+  | Exec -> zk.Measure.exec_time_s
+  | Prove -> zk.Measure.prove_time_s
+
+(** Improvement (%) of [profile] over the baseline for one program. *)
+let improvement t ~program ~profile ~vm ~metric =
+  let base = value vm metric (get t program "baseline") in
+  let v = value vm metric (get t program profile) in
+  Zkopt_stats.Stats.improvement_pct ~base v
+
+(** CPU-model improvement (%) over baseline (RQ3). *)
+let cpu_improvement t ~program ~profile =
+  match ((get t program "baseline").cpu, (get t program profile).cpu) with
+  | Some base, Some v ->
+    Some
+      (Zkopt_stats.Stats.improvement_pct ~base:base.Measure.cpu_time_s
+         v.Measure.cpu_time_s)
+  | _ -> None
+
+let all_programs t = List.map (fun w -> w.Zkopt_workloads.Workload.name) t.programs

@@ -1,0 +1,181 @@
+(** zkbench — the command-line front end.
+
+    {v
+    zkbench list                         # all 58 programs
+    zkbench passes                       # the 64 swept passes
+    zkbench run fibonacci -O3            # measure one program
+    zkbench run npb-lu --pass licm       # one pass vs baseline
+    zkbench sweep --program fibonacci    # all 71 profiles on one program
+    zkbench autotune npb-mg --iters 80   # GA pass-sequence search
+    zkbench asm fibonacci -O3            # dump the RV32 assembly
+    v} *)
+
+open Cmdliner
+open Zkopt_core
+
+let find_workload name =
+  Zkopt_workloads.Suite.check_composition ();
+  Zkopt_workloads.Workload.find name
+
+let size_of_quick quick =
+  if quick then Zkopt_workloads.Workload.Quick else Zkopt_workloads.Workload.Full
+
+let show_metrics (zk : Measure.zk_metrics) =
+  Printf.printf "  %-6s %10d cycles  exec %8.4fs  prove %8.2fs  %2d seg  paging %8d\n"
+    zk.Measure.vm zk.Measure.cycles zk.Measure.exec_time_s zk.Measure.prove_time_s
+    zk.Measure.segments zk.Measure.paging_cycles
+
+let profile_of ~level ~pass ~zk_o3 =
+  match (level, pass, zk_o3) with
+  | _, Some p, _ -> Profile.Single_pass p
+  | Some l, _, _ ->
+    let lvl =
+      match l with
+      | "-O0" | "O0" -> Zkopt_passes.Catalog.O0
+      | "-O1" | "O1" -> Zkopt_passes.Catalog.O1
+      | "-O2" | "O2" -> Zkopt_passes.Catalog.O2
+      | "-O3" | "O3" -> Zkopt_passes.Catalog.O3
+      | "-Os" | "Os" -> Zkopt_passes.Catalog.Os
+      | "-Oz" | "Oz" -> Zkopt_passes.Catalog.Oz
+      | other -> failwith ("unknown level " ^ other)
+    in
+    Profile.Level lvl
+  | _, _, true -> Profile.Zkvm_o3
+  | None, None, false -> Profile.Baseline
+
+(* ---- subcommands --------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Zkopt_workloads.Suite.check_composition ();
+    List.iter
+      (fun (w : Zkopt_workloads.Workload.t) ->
+        Printf.printf "%-28s %-10s%s\n" w.Zkopt_workloads.Workload.name
+          w.Zkopt_workloads.Workload.suite
+          (if w.Zkopt_workloads.Workload.uses_precompiles then "  [precompiles]"
+           else ""))
+      (Zkopt_workloads.Workload.all ())
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the 58 benchmark programs")
+    Term.(const run $ const ())
+
+let passes_cmd =
+  let run () =
+    List.iter
+      (fun p ->
+        let pass = Zkopt_passes.Pass.find p in
+        Printf.printf "%-28s %s\n" p pass.Zkopt_passes.Pass.descr)
+      Zkopt_passes.Catalog.swept_passes
+  in
+  Cmd.v (Cmd.info "passes" ~doc:"List the 64 swept optimization passes")
+    Term.(const run $ const ())
+
+let prog_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use reduced (test) input sizes")
+
+let level_arg =
+  Arg.(value & opt (some string) None
+       & info [ "O"; "level" ] ~docv:"LEVEL" ~doc:"Optimization level (O0..O3, Os, Oz)")
+
+let pass_arg =
+  Arg.(value & opt (some string) None
+       & info [ "pass" ] ~docv:"PASS" ~doc:"Run a single pass instead of a level")
+
+let zk_o3_arg =
+  Arg.(value & flag
+       & info [ "zk-o3" ] ~doc:"Use the zkVM-aware modified -O3 pipeline")
+
+let run_cmd =
+  let run prog quick level pass zk_o3 =
+    let w = find_workload prog in
+    let build () = w.Zkopt_workloads.Workload.build (size_of_quick quick) in
+    let profile = profile_of ~level ~pass ~zk_o3 in
+    Printf.printf "%s under %s:\n" prog (Profile.name profile);
+    let c = Measure.prepare ~build profile in
+    show_metrics (Measure.run_zkvm Zkopt_zkvm.Config.risc0 c);
+    show_metrics (Measure.run_zkvm Zkopt_zkvm.Config.sp1 c);
+    let cpu = Measure.run_cpu c in
+    Printf.printf "  %-6s %10.0f cycles  time %8.6fs  (CPU model)\n" "cpu"
+      cpu.Measure.cpu_cycles cpu.Measure.cpu_time_s;
+    Printf.printf "  static size: %d instructions\n" c.Measure.static_instrs
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Measure one program under a profile")
+    Term.(const run $ prog_arg $ quick_arg $ level_arg $ pass_arg $ zk_o3_arg)
+
+let sweep_cmd =
+  let run prog quick =
+    let w = find_workload prog in
+    let build () = w.Zkopt_workloads.Workload.build (size_of_quick quick) in
+    let base = Measure.prepare ~build Profile.Baseline in
+    let b0 = Measure.run_zkvm Zkopt_zkvm.Config.risc0 base in
+    Printf.printf "%-28s %12s %9s\n" "profile" "r0 cycles" "vs base";
+    List.iter
+      (fun profile ->
+        let c = Measure.prepare ~build profile in
+        let r0 = Measure.run_zkvm Zkopt_zkvm.Config.risc0 c in
+        Printf.printf "%-28s %12d %+8.1f%%\n" (Profile.name profile)
+          r0.Measure.cycles
+          ((1.0 -. float_of_int r0.Measure.cycles /. float_of_int b0.Measure.cycles)
+          *. 100.0))
+      Profile.all_71
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Run all 71 profiles on one program")
+    Term.(const run $ prog_arg $ quick_arg)
+
+let autotune_cmd =
+  let iters_arg =
+    Arg.(value & opt int 80 & info [ "iters" ] ~doc:"GA evaluations")
+  in
+  let vm_arg =
+    Arg.(value & opt string "risc0" & info [ "vm" ] ~doc:"risc0 or sp1")
+  in
+  let run prog quick iters vm =
+    let w = find_workload prog in
+    let build () = w.Zkopt_workloads.Workload.build (size_of_quick quick) in
+    let cfg = Zkopt_zkvm.Config.by_name vm in
+    let ga = Zkopt_autotune.Autotune.run ~iterations:iters ~build cfg in
+    let best = ga.Zkopt_autotune.Autotune.best in
+    Printf.printf "best (%d cycles): %s\n" best.Zkopt_autotune.Autotune.fitness
+      (String.concat " -> " best.Zkopt_autotune.Autotune.genome);
+    let o3 = Measure.prepare ~build (Profile.Level Zkopt_passes.Catalog.O3) in
+    let o3m = Measure.run_zkvm cfg o3 in
+    Printf.printf "-O3 reference: %d cycles (tuned is %+.1f%%)\n"
+      o3m.Measure.cycles
+      ((1.0
+       -. float_of_int best.Zkopt_autotune.Autotune.fitness
+          /. float_of_int o3m.Measure.cycles)
+      *. 100.0)
+  in
+  Cmd.v (Cmd.info "autotune" ~doc:"Genetic pass-sequence search for a program")
+    Term.(const run $ prog_arg $ quick_arg $ iters_arg $ vm_arg)
+
+let asm_cmd =
+  let run prog quick level pass zk_o3 =
+    let w = find_workload prog in
+    let build () = w.Zkopt_workloads.Workload.build (size_of_quick quick) in
+    let profile = profile_of ~level ~pass ~zk_o3 in
+    let m = build () in
+    Zkopt_runtime.Runtime.link m;
+    Profile.apply profile m;
+    ignore (Zkopt_passes.Pass.run_one "globaldce" m);
+    List.iter
+      (fun f ->
+        let unit_, _ = Zkopt_riscv.Codegen.lower_func m f in
+        print_string (Zkopt_riscv.Asm.to_string unit_))
+      m.Zkopt_ir.Modul.funcs
+  in
+  Cmd.v (Cmd.info "asm" ~doc:"Dump the generated RV32 assembly")
+    Term.(const run $ prog_arg $ quick_arg $ level_arg $ pass_arg $ zk_o3_arg)
+
+let () =
+  let info =
+    Cmd.info "zkbench" ~version:"1.0"
+      ~doc:"Measure compiler-optimization impact on simulated zkVMs"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; passes_cmd; run_cmd; sweep_cmd; autotune_cmd; asm_cmd ]))

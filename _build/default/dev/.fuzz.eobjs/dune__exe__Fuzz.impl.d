@@ -1,0 +1,1 @@
+dev/fuzz.ml: Eval Int64 Interp Printexc Printf Randprog Verify Zkopt_ir Zkopt_riscv Zkopt_runtime

@@ -1,0 +1,1 @@
+dev/passfuzz.ml: Array Clone Eval Int64 Interp List Printexc Printf Random Randprog String Sys Verify Zkopt_ir Zkopt_passes Zkopt_riscv Zkopt_runtime

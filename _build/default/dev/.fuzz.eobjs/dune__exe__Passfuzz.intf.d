@@ -1,0 +1,1 @@
+dev/passfuzz.mli:

@@ -1,0 +1,1 @@
+dev/wlcheck.ml: Array Eval Int64 Interp List Printexc Printf Sys Unix Verify Zkopt_ir Zkopt_riscv Zkopt_runtime Zkopt_workloads

@@ -1,0 +1,93 @@
+open Zkopt_ir
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 60 in
+  let passes = Zkopt_passes.Catalog.all_passes () in
+  Printf.printf "testing %d passes: %s\n%!" (List.length passes) (String.concat " " passes);
+  let bad = ref 0 in
+  for seed = 1 to n do
+    let base = Randprog.generate ~seed () in
+    Zkopt_runtime.Runtime.link base;
+    let expected = Interp.checksum base in
+    List.iter (fun pname ->
+      let m = Clone.modul base in
+      (try
+        ignore (Zkopt_passes.Pass.run_one pname m);
+        (try Verify.check m
+         with Verify.Ill_formed msg ->
+           incr bad; Printf.printf "seed %d pass %s ILLFORMED: %s\n%!" seed pname msg);
+        let got = Interp.checksum m in
+        if not (Int64.equal got expected) then begin
+          incr bad;
+          Printf.printf "seed %d pass %s WRONG: %Lx vs %Lx\n%!" seed pname got expected
+        end;
+        (* codegen differential too *)
+        let ev, _ = Zkopt_riscv.Codegen.run m in
+        let ev = Eval.norm32 (Int64.of_int32 ev) in
+        if not (Int64.equal ev expected) then begin
+          incr bad;
+          Printf.printf "seed %d pass %s CODEGEN WRONG: %Lx vs %Lx\n%!" seed pname ev expected
+        end
+      with e ->
+        incr bad;
+        Printf.printf "seed %d pass %s EXN: %s\n%!" seed pname (Printexc.to_string e)))
+      passes;
+    (* standard levels and the zkVM-aware pipeline *)
+    List.iter (fun lvl ->
+      let m = Clone.modul base in
+      try
+        Zkopt_passes.Catalog.run_level lvl m;
+        Verify.check m;
+        let got = Interp.checksum m in
+        let ev, _ = Zkopt_riscv.Codegen.run m in
+        let ev = Eval.norm32 (Int64.of_int32 ev) in
+        if not (Int64.equal got expected && Int64.equal ev expected) then begin
+          incr bad;
+          Printf.printf "seed %d level %s WRONG %Lx/%Lx vs %Lx\n%!" seed
+            (Zkopt_passes.Catalog.level_name lvl) got ev expected
+        end
+      with e ->
+        incr bad;
+        Printf.printf "seed %d level %s EXN %s\n%!" seed
+          (Zkopt_passes.Catalog.level_name lvl) (Printexc.to_string e))
+      Zkopt_passes.Catalog.all_levels;
+    (let m = Clone.modul base in
+     try
+       Zkopt_passes.Catalog.run_zkvm_o3 m;
+       Verify.check m;
+       let got = Interp.checksum m in
+       let ev, _ = Zkopt_riscv.Codegen.run m in
+       let ev = Eval.norm32 (Int64.of_int32 ev) in
+       if not (Int64.equal got expected && Int64.equal ev expected) then begin
+         incr bad;
+         Printf.printf "seed %d zkvm-O3 WRONG %Lx/%Lx vs %Lx\n%!" seed got ev expected
+       end
+     with e ->
+       incr bad;
+       Printf.printf "seed %d zkvm-O3 EXN %s\n%!" seed (Printexc.to_string e));
+    (* random pass sequences, both cost models *)
+    let rng = Random.State.make [| seed * 7919 |] in
+    for _ = 1 to 3 do
+      let len = 1 + Random.State.int rng 8 in
+      let seq = List.init len (fun _ -> List.nth passes (Random.State.int rng (List.length passes))) in
+      let config = if Random.State.bool rng then Zkopt_passes.Pass.standard_config
+                   else Zkopt_passes.Pass.zkvm_config in
+      let m = Clone.modul base in
+      try
+        ignore (Zkopt_passes.Pass.run_sequence ~config seq m);
+        Verify.check m;
+        let got = Interp.checksum m in
+        let ev, _ = Zkopt_riscv.Codegen.run m in
+        let ev = Eval.norm32 (Int64.of_int32 ev) in
+        if not (Int64.equal got expected) || not (Int64.equal ev expected) then begin
+          incr bad;
+          Printf.printf "seed %d seq [%s] WRONG interp=%Lx emu=%Lx expect=%Lx\n%!"
+            seed (String.concat ";" seq) got ev expected
+        end
+      with e ->
+        incr bad;
+        Printf.printf "seed %d seq [%s] EXN: %s\n%!" seed (String.concat ";" seq)
+          (Printexc.to_string e)
+    done
+  done;
+  Printf.printf "passfuzz done, %d bad\n" !bad

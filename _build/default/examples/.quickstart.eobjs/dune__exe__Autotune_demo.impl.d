@@ -1,0 +1,1 @@
+examples/autotune_demo.ml: Measure Printf Profile String Zkopt_autotune Zkopt_core Zkopt_passes Zkopt_workloads Zkopt_zkvm

@@ -1,0 +1,1 @@
+examples/crypto_pipeline.ml: Builder Extern List Measure Modul Printf Profile Ty Value Zkopt_core Zkopt_ir Zkopt_passes Zkopt_zkvm

@@ -1,0 +1,1 @@
+examples/differential_oracle.ml: Int64 List Measure Printf Profile String Zkopt_core Zkopt_passes Zkopt_workloads Zkopt_zkvm

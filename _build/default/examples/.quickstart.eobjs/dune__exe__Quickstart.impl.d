@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder List Measure Modul Printf Profile Ty Value Zkopt_core Zkopt_ir Zkopt_passes Zkopt_zkvm

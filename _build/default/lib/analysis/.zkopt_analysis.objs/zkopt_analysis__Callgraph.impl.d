@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Func Hashtbl Instr List Modul Option String Zkopt_ir

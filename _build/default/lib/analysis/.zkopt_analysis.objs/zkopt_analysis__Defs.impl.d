@@ -1,0 +1,1 @@
+lib/analysis/defs.ml: Block Func Hashtbl Instr List Option Value Zkopt_ir

@@ -1,0 +1,1 @@
+lib/analysis/intset.ml: Int Set

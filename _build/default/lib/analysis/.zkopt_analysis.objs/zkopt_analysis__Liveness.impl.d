@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Block Cfg Instr Intset List Option Zkopt_ir

@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Block Cfg Defs Dom Hashtbl Instr Int64 Intset List Option String Ty Value Zkopt_ir

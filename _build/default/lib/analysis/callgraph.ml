@@ -1,0 +1,65 @@
+(** Call graph over module functions. *)
+
+open Zkopt_ir
+
+type t = {
+  callees : (string, string list) Hashtbl.t;
+  callers : (string, string list) Hashtbl.t;
+  call_sites : (string, int) Hashtbl.t;  (* callee -> number of call sites *)
+}
+
+let compute (m : Modul.t) : t =
+  let callees = Hashtbl.create 16 in
+  let callers = Hashtbl.create 16 in
+  let call_sites = Hashtbl.create 16 in
+  let add tbl k v =
+    let old = Option.value ~default:[] (Hashtbl.find_opt tbl k) in
+    if not (List.mem v old) then Hashtbl.replace tbl k (v :: old)
+  in
+  List.iter
+    (fun (f : Func.t) ->
+      if not (Hashtbl.mem callees f.Func.name) then
+        Hashtbl.replace callees f.Func.name [];
+      Func.iter_instrs f (fun _ i ->
+          match i with
+          | Instr.Call { callee; _ } ->
+            add callees f.Func.name callee;
+            add callers callee f.Func.name;
+            Hashtbl.replace call_sites callee
+              (1 + Option.value ~default:0 (Hashtbl.find_opt call_sites callee))
+          | _ -> ()))
+    m.Modul.funcs;
+  { callees; callers; call_sites }
+
+let callees t f = Option.value ~default:[] (Hashtbl.find_opt t.callees f)
+let callers t f = Option.value ~default:[] (Hashtbl.find_opt t.callers f)
+let call_site_count t f = Option.value ~default:0 (Hashtbl.find_opt t.call_sites f)
+
+(** Is [f] (transitively) recursive?  Used to stop the inliner. *)
+let is_recursive t fname =
+  let rec reach seen g =
+    if List.mem g seen then List.mem fname seen && String.equal g fname
+    else
+      List.exists
+        (fun callee ->
+          String.equal callee fname || reach (g :: seen) callee)
+        (callees t g)
+  in
+  List.exists
+    (fun callee -> String.equal callee fname || reach [ fname ] callee)
+    (callees t fname)
+
+(** Functions unreachable from [roots] (default: ["main"]). *)
+let unreachable_funcs ?(roots = [ "main" ]) (m : Modul.t) (t : t) =
+  let seen = Hashtbl.create 16 in
+  let rec visit f =
+    if not (Hashtbl.mem seen f) then begin
+      Hashtbl.replace seen f ();
+      List.iter visit (callees t f)
+    end
+  in
+  List.iter visit roots;
+  List.filter_map
+    (fun (f : Func.t) ->
+      if Hashtbl.mem seen f.Func.name then None else Some f.Func.name)
+    m.Modul.funcs

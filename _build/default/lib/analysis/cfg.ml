@@ -1,0 +1,64 @@
+(** Control-flow graph utilities over a function's block list. *)
+
+open Zkopt_ir
+
+type t = {
+  func : Func.t;
+  blocks : Block.t array;                    (* in layout order; entry first *)
+  index : (string, int) Hashtbl.t;           (* label -> array index *)
+  succ : int list array;
+  pred : int list array;
+}
+
+let of_func (f : Func.t) : t =
+  let blocks = Array.of_list f.Func.blocks in
+  let n = Array.length blocks in
+  let index = Hashtbl.create n in
+  Array.iteri (fun i (b : Block.t) -> Hashtbl.replace index b.label i) blocks;
+  let succ = Array.make n [] in
+  let pred = Array.make n [] in
+  Array.iteri
+    (fun i b ->
+      let ss =
+        List.filter_map (fun l -> Hashtbl.find_opt index l) (Block.successors b)
+      in
+      succ.(i) <- ss;
+      List.iter (fun s -> pred.(s) <- i :: pred.(s)) ss)
+    blocks;
+  { func = f; blocks; index; succ; pred }
+
+let size t = Array.length t.blocks
+let block t i = t.blocks.(i)
+let label t i = t.blocks.(i).Block.label
+let index_of t label = Hashtbl.find_opt t.index label
+
+let index_of_exn t lbl =
+  match index_of t lbl with
+  | Some i -> i
+  | None -> invalid_arg (Printf.sprintf "Cfg.index_of: no block %s" lbl)
+
+(** Reverse postorder over blocks reachable from the entry. *)
+let reverse_postorder t =
+  let n = size t in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let rec dfs i =
+    if not visited.(i) then begin
+      visited.(i) <- true;
+      List.iter dfs t.succ.(i);
+      order := i :: !order
+    end
+  in
+  if n > 0 then dfs 0;
+  !order
+
+(** Blocks unreachable from the entry (dead blocks). *)
+let unreachable t =
+  let n = size t in
+  let reach = Array.make n false in
+  List.iter (fun i -> reach.(i) <- true) (reverse_postorder t);
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if not reach.(i) then out := i :: !out
+  done;
+  !out

@@ -1,0 +1,63 @@
+(** Dominator tree, computed with the Cooper–Harvey–Kennedy iterative
+    algorithm over reverse postorder. *)
+
+type t = {
+  cfg : Cfg.t;
+  idom : int array;   (* immediate dominator index; entry's idom is itself *)
+  rpo_number : int array;
+}
+
+let compute (cfg : Cfg.t) : t =
+  let n = Cfg.size cfg in
+  let rpo = Cfg.reverse_postorder cfg in
+  let rpo_number = Array.make n max_int in
+  List.iteri (fun ord i -> rpo_number.(i) <- ord) rpo;
+  let idom = Array.make n (-1) in
+  if n > 0 then idom.(0) <- 0;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_number.(!a) > rpo_number.(!b) do a := idom.(!a) done;
+      while rpo_number.(!b) > rpo_number.(!a) do b := idom.(!b) done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun i ->
+        if i <> 0 then begin
+          let preds = List.filter (fun p -> idom.(p) >= 0) cfg.Cfg.pred.(i) in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+            let new_idom = List.fold_left intersect first rest in
+            if idom.(i) <> new_idom then begin
+              idom.(i) <- new_idom;
+              changed := true
+            end
+        end)
+      rpo
+  done;
+  { cfg; idom; rpo_number }
+
+(** [dominates t a b]: does block [a] dominate block [b]?  Unreachable
+    blocks dominate nothing and are dominated by nothing. *)
+let dominates t a b =
+  if t.idom.(b) < 0 || t.idom.(a) < 0 then false
+  else begin
+    let rec walk x = if x = a then true else if x = 0 then a = 0 else walk t.idom.(x) in
+    walk b
+  end
+
+let idom t i = if i = 0 || t.idom.(i) < 0 then None else Some t.idom.(i)
+
+(** Children lists of the dominator tree. *)
+let children t =
+  let n = Array.length t.idom in
+  let kids = Array.make n [] in
+  for i = n - 1 downto 1 do
+    if t.idom.(i) >= 0 then kids.(t.idom.(i)) <- i :: kids.(t.idom.(i))
+  done;
+  kids

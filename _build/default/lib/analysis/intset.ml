@@ -1,0 +1,3 @@
+(** Small integer sets used throughout the analyses. *)
+
+include Set.Make (Int)

@@ -1,0 +1,62 @@
+(** Backward liveness dataflow over virtual registers, at block
+    granularity. *)
+
+open Zkopt_ir
+
+module RegSet = Intset
+
+type t = {
+  live_in : RegSet.t array;
+  live_out : RegSet.t array;
+}
+
+(* use[b] = regs read before any write in b; def[b] = regs written in b *)
+let local_sets (b : Block.t) =
+  let use = ref RegSet.empty and def = ref RegSet.empty in
+  let visit_uses rs =
+    List.iter (fun r -> if not (RegSet.mem r !def) then use := RegSet.add r !use) rs
+  in
+  List.iter
+    (fun i ->
+      visit_uses (Instr.uses i);
+      Option.iter (fun d -> def := RegSet.add d !def) (Instr.def i))
+    b.Block.instrs;
+  visit_uses (Instr.term_uses b.Block.term);
+  (!use, !def)
+
+let compute (cfg : Cfg.t) : t =
+  let n = Cfg.size cfg in
+  let use = Array.make n RegSet.empty and def = Array.make n RegSet.empty in
+  for i = 0 to n - 1 do
+    let u, d = local_sets (Cfg.block cfg i) in
+    use.(i) <- u;
+    def.(i) <- d
+  done;
+  let live_in = Array.make n RegSet.empty in
+  let live_out = Array.make n RegSet.empty in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let out =
+        List.fold_left
+          (fun acc s -> RegSet.union acc live_in.(s))
+          RegSet.empty cfg.Cfg.succ.(i)
+      in
+      let inn = RegSet.union use.(i) (RegSet.diff out def.(i)) in
+      if not (RegSet.equal out live_out.(i)) || not (RegSet.equal inn live_in.(i))
+      then begin
+        live_out.(i) <- out;
+        live_in.(i) <- inn;
+        changed := true
+      end
+    done
+  done;
+  { live_in; live_out }
+
+(** Registers live on entry to any block other than the one defining them
+    — i.e. live across a block boundary. *)
+let cross_block_regs (t : t) =
+  let acc = ref RegSet.empty in
+  Array.iter (fun s -> acc := RegSet.union !acc s) t.live_in;
+  !acc

@@ -1,0 +1,1 @@
+lib/autotune/autotune.ml: Array Catalog List Pass Random String Zkopt_core Zkopt_ir Zkopt_passes Zkopt_zkvm

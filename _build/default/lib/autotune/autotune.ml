@@ -1,0 +1,151 @@
+(** Genetic autotuner over pass sequences (the paper's RQ2 OpenTuner
+    setup): genomes are pass-name sequences up to depth 20, fitness is
+    the zkVM cycle count — cheap and strongly correlated with both
+    execution and proving time (§4.1) — and search runs a fixed iteration
+    budget with tournament selection, one-point crossover and
+    insert/delete/replace/swap mutations. *)
+
+open Zkopt_passes
+
+type genome = string list
+
+type individual = {
+  genome : genome;
+  fitness : int;  (* cycles; lower is better *)
+}
+
+type result = {
+  best : individual;
+  top5 : individual list;
+  bottom5 : individual list;
+  evaluations : int;
+  history : int list;  (* best fitness per generation *)
+}
+
+let max_depth = 20
+
+let gene_pool = Catalog.swept_passes
+
+let random_gene rng = List.nth gene_pool (Random.State.int rng (List.length gene_pool))
+
+let random_genome rng =
+  let len = 1 + Random.State.int rng max_depth in
+  List.init len (fun _ -> random_gene rng)
+
+let mutate rng (g : genome) : genome =
+  let g = Array.of_list g in
+  let n = Array.length g in
+  match Random.State.int rng 4 with
+  | 0 when n < max_depth ->
+    (* insert *)
+    let pos = Random.State.int rng (n + 1) in
+    Array.to_list (Array.concat [ Array.sub g 0 pos; [| random_gene rng |];
+                                  Array.sub g pos (n - pos) ])
+  | 1 when n > 1 ->
+    (* delete *)
+    let pos = Random.State.int rng n in
+    Array.to_list (Array.append (Array.sub g 0 pos) (Array.sub g (pos + 1) (n - pos - 1)))
+  | 2 ->
+    (* replace *)
+    let pos = Random.State.int rng n in
+    g.(pos) <- random_gene rng;
+    Array.to_list g
+  | _ ->
+    if n >= 2 then begin
+      let i = Random.State.int rng n and j = Random.State.int rng n in
+      let t = g.(i) in
+      g.(i) <- g.(j);
+      g.(j) <- t
+    end;
+    Array.to_list g
+
+let crossover rng (a : genome) (b : genome) : genome =
+  let a = Array.of_list a and b = Array.of_list b in
+  let cut_a = Random.State.int rng (Array.length a + 1) in
+  let cut_b = Random.State.int rng (Array.length b + 1) in
+  let child =
+    Array.to_list (Array.append (Array.sub a 0 cut_a)
+                     (Array.sub b cut_b (Array.length b - cut_b)))
+  in
+  match child with
+  | [] -> [ random_gene rng ]
+  | c when List.length c > max_depth ->
+    List.filteri (fun i _ -> i < max_depth) c
+  | c -> c
+
+(** Fitness: zkVM cycle count under [vm] after applying the genome with
+    the standard cost model.  Failures (pathological sequences blowing
+    fuel) score worst. *)
+let evaluate ?fuel ~(build : unit -> Zkopt_ir.Modul.t)
+    (vm : Zkopt_zkvm.Config.t) (g : genome) : int =
+  try
+    let profile = Zkopt_core.Profile.Custom (g, Pass.standard_config) in
+    let c = Zkopt_core.Measure.prepare ~build profile in
+    let m = Zkopt_core.Measure.run_zkvm ?fuel vm c in
+    m.Zkopt_core.Measure.cycles
+  with _ -> max_int
+
+(** Run the GA.  [iterations] counts genome evaluations (the paper uses
+    160 for the broad sweep and 1600 for the NPB/crypto deep dives). *)
+let run ?(seed = 1) ?(population = 16) ?(iterations = 160) ?fuel
+    ~(build : unit -> Zkopt_ir.Modul.t) (vm : Zkopt_zkvm.Config.t) : result =
+  let rng = Random.State.make [| seed; 0x5eed |] in
+  let evaluations = ref 0 in
+  let eval g =
+    incr evaluations;
+    { genome = g; fitness = evaluate ?fuel ~build vm g }
+  in
+  let cmp a b = compare a.fitness b.fitness in
+  let pop = ref (List.sort cmp (List.init population (fun _ -> eval (random_genome rng)))) in
+  let everyone = ref !pop in
+  let history = ref [] in
+  let tournament () =
+    let pick () = List.nth !pop (Random.State.int rng (List.length !pop)) in
+    let a = pick () and b = pick () in
+    if a.fitness <= b.fitness then a else b
+  in
+  while !evaluations < iterations do
+    let parent1 = tournament () and parent2 = tournament () in
+    let child_g =
+      let g = crossover rng parent1.genome parent2.genome in
+      if Random.State.bool rng then mutate rng g else g
+    in
+    let child = eval child_g in
+    everyone := child :: !everyone;
+    (* steady-state replacement of the worst *)
+    let sorted = List.sort cmp (child :: !pop) in
+    pop := List.filteri (fun i _ -> i < population) sorted;
+    history := (List.hd !pop).fitness :: !history
+  done;
+  let all_sorted = List.sort cmp !everyone in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  {
+    best = List.hd all_sorted;
+    top5 = take 5 all_sorted;
+    bottom5 = take 5 (List.rev (List.filter (fun i -> i.fitness < max_int) all_sorted));
+    evaluations = !evaluations;
+    history = List.rev !history;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Subsequence mining (RQ2's best/worst sequence analysis)             *)
+(* ------------------------------------------------------------------ *)
+
+(** How many of [sequences] contain pass [p]. *)
+let count_containing p sequences =
+  List.length (List.filter (fun s -> List.mem p s) sequences)
+
+(** How many of [sequences] contain [a] followed (not necessarily
+    adjacently) by [b]. *)
+let count_ordered_pair a b sequences =
+  List.length
+    (List.filter
+       (fun s ->
+         let rec scan saw_a = function
+           | [] -> false
+           | x :: tl ->
+             if saw_a && String.equal x b then true
+             else scan (saw_a || String.equal x a) tl
+         in
+         scan false s)
+       sequences)

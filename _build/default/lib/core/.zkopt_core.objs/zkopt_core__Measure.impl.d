@@ -1,0 +1,1 @@
+lib/core/measure.ml: Eval Int64 List Modul Profile Verify Zkopt_cpu Zkopt_ir Zkopt_passes Zkopt_riscv Zkopt_runtime Zkopt_zkvm

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Catalog List Pass String Zkopt_ir Zkopt_passes

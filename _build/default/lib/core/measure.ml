@@ -1,0 +1,89 @@
+(** The measurement pipeline: build -> link runtime -> optimize under a
+    profile -> prune -> verify -> compile -> execute on each zkVM cost
+    model (and the CPU model for RQ3), collecting the paper's metrics. *)
+
+open Zkopt_ir
+
+type zk_metrics = {
+  vm : string;
+  cycles : int;
+  exec_time_s : float;
+  prove_time_s : float;
+  segments : int;
+  paging_cycles : int;
+  page_ins : int;
+  page_outs : int;
+  loads : int;
+  stores : int;
+  exit_value : int64;
+}
+
+type cpu_metrics = {
+  cpu_cycles : float;
+  cpu_time_s : float;
+  mispredicts : int;
+  cache_misses : int;
+  cpu_exit_value : int64;
+}
+
+type compiled = {
+  modul : Modul.t;
+  codegen : Zkopt_riscv.Codegen.t;
+  static_instrs : int;
+}
+
+(** Materialize a program under a profile.  [build] must return a fresh
+    module each call.  The runtime library is linked before optimization
+    (so the whole image is optimized together, like LTO) and unreachable
+    functions are pruned afterwards, for every profile including the
+    baseline. *)
+let prepare ?(verify = true) ~(build : unit -> Modul.t) (profile : Profile.t) :
+    compiled =
+  let m = build () in
+  Zkopt_runtime.Runtime.link m;
+  Profile.apply profile m;
+  ignore (Zkopt_passes.Pass.run_one "globaldce" m);
+  if verify then Verify.check m;
+  let codegen = Zkopt_riscv.Codegen.compile m in
+  let static_instrs =
+    List.fold_left
+      (fun acc (s : Zkopt_riscv.Codegen.func_stats) ->
+        acc + s.Zkopt_riscv.Codegen.instrs)
+      0 codegen.Zkopt_riscv.Codegen.stats
+  in
+  { modul = m; codegen; static_instrs }
+
+let run_zkvm ?fault ?fuel (cfg : Zkopt_zkvm.Config.t) (c : compiled) : zk_metrics =
+  let r = Zkopt_zkvm.Vm.measure ?fault ?fuel cfg c.codegen c.modul in
+  let e = r.Zkopt_zkvm.Vm.exec in
+  {
+    vm = r.Zkopt_zkvm.Vm.vm;
+    cycles = r.Zkopt_zkvm.Vm.cycles;
+    exec_time_s = r.Zkopt_zkvm.Vm.exec_time_s;
+    prove_time_s = r.Zkopt_zkvm.Vm.prove_time_s;
+    segments = r.Zkopt_zkvm.Vm.segments;
+    paging_cycles = r.Zkopt_zkvm.Vm.paging_cycles;
+    page_ins = e.Zkopt_zkvm.Executor.page_ins;
+    page_outs = e.Zkopt_zkvm.Executor.page_outs;
+    loads = e.Zkopt_zkvm.Executor.loads;
+    stores = e.Zkopt_zkvm.Executor.stores;
+    exit_value = Eval.norm32 (Int64.of_int32 r.Zkopt_zkvm.Vm.exit_value);
+  }
+
+let run_cpu ?fuel (c : compiled) : cpu_metrics =
+  let r = Zkopt_cpu.Timing.run ?fuel c.codegen c.modul in
+  {
+    cpu_cycles = r.Zkopt_cpu.Timing.cycles;
+    cpu_time_s = r.Zkopt_cpu.Timing.time_s;
+    mispredicts = r.Zkopt_cpu.Timing.mispredicts;
+    cache_misses = r.Zkopt_cpu.Timing.cache_misses;
+    cpu_exit_value = Eval.norm32 (Int64.of_int32 r.Zkopt_cpu.Timing.exit_value);
+  }
+
+(** Convenience: metrics on both zkVMs for one profile, with a checksum
+    cross-check against the interpreter-free baseline expectation. *)
+let measure_profile ?fuel ~build profile =
+  let c = prepare ~build profile in
+  let risc0 = run_zkvm ?fuel Zkopt_zkvm.Config.risc0 c in
+  let sp1 = run_zkvm ?fuel Zkopt_zkvm.Config.sp1 c in
+  (c, risc0, sp1)

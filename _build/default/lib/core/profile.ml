@@ -1,0 +1,34 @@
+(** Optimization profiles: the 71 configurations of the study — an
+    unoptimized baseline, the 64 individual passes, and the six standard
+    levels — plus custom sequences (used by the autotuner) and the
+    zkVM-aware modified -O3 of §6.1. *)
+
+open Zkopt_passes
+
+type t =
+  | Baseline
+  | Single_pass of string
+  | Level of Catalog.level
+  | Custom of string list * Pass.config
+  | Zkvm_o3
+
+let name = function
+  | Baseline -> "baseline"
+  | Single_pass p -> p
+  | Level l -> Catalog.level_name l
+  | Custom (ps, _) -> "custom:" ^ String.concat "," ps
+  | Zkvm_o3 -> "-O3(zkvm)"
+
+(** The paper's 71 profiles. *)
+let all_71 =
+  (Baseline :: List.map (fun p -> Single_pass p) Catalog.swept_passes)
+  @ List.map (fun l -> Level l) Catalog.all_levels
+
+(** Apply a profile to a module in place (callers clone first). *)
+let apply (t : t) (m : Zkopt_ir.Modul.t) =
+  match t with
+  | Baseline -> ()
+  | Single_pass p -> ignore (Pass.run_one ~config:Pass.standard_config p m)
+  | Level l -> Catalog.run_level l m
+  | Custom (ps, config) -> ignore (Pass.run_sequence ~config ps m)
+  | Zkvm_o3 -> Catalog.run_zkvm_o3 m

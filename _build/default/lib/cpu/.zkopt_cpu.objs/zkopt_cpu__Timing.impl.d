@@ -1,0 +1,1 @@
+lib/cpu/timing.ml: Array Asm Cache Codegen Emulator Float Int32 Isa List Predictor Regalloc Zkopt_ir Zkopt_riscv

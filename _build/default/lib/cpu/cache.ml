@@ -1,0 +1,78 @@
+(** Set-associative LRU data-cache model (default: 32 KiB, 8-way, 64-byte
+    lines — an L1d in the class of the paper's EPYC testbed). *)
+
+type t = {
+  sets : int;
+  ways : int;
+  line_bytes : int;
+  tags : int array array;      (* [set].[way] = tag, -1 empty *)
+  ages : int array array;      (* LRU stamps *)
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  (* single-stream next-line prefetcher: a second sequential miss starts a
+     stream and pulls the following lines in.  One tracker only, so
+     interleaved streams defeat it -- the mechanism that makes loop
+     fission profitable on the CPU model (paper Fig. 2b). *)
+  mutable last_miss_line : int;
+  mutable prefetches : int;
+}
+
+let create ?(size_bytes = 32 * 1024) ?(ways = 8) ?(line_bytes = 64) () =
+  let sets = size_bytes / (ways * line_bytes) in
+  {
+    sets;
+    ways;
+    line_bytes;
+    tags = Array.init sets (fun _ -> Array.make ways (-1));
+    ages = Array.init sets (fun _ -> Array.make ways 0);
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    last_miss_line = min_int;
+    prefetches = 0;
+  }
+
+let fill t line =
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  let tags = t.tags.(set) and ages = t.ages.(set) in
+  let rec present w =
+    if w >= t.ways then false else tags.(w) = tag || present (w + 1)
+  in
+  if not (present 0) then begin
+    let victim = ref 0 in
+    for w = 1 to t.ways - 1 do
+      if ages.(w) < ages.(!victim) then victim := w
+    done;
+    tags.(!victim) <- tag;
+    ages.(!victim) <- t.clock
+  end
+
+(** Access [addr]; returns [true] on hit.  Misses fill the LRU way and
+    may trigger the stream prefetcher. *)
+let access t (addr : int32) : bool =
+  let a = Int32.to_int addr land 0xFFFF_FFFF in
+  let line = a / t.line_bytes in
+  let set = line mod t.sets in
+  let tag = line / t.sets in
+  t.clock <- t.clock + 1;
+  let tags = t.tags.(set) and ages = t.ages.(set) in
+  let rec find w = if w >= t.ways then None else if tags.(w) = tag then Some w else find (w + 1) in
+  match find 0 with
+  | Some w ->
+    ages.(w) <- t.clock;
+    t.hits <- t.hits + 1;
+    true
+  | None ->
+    t.misses <- t.misses + 1;
+    fill t line;
+    if line > t.last_miss_line && line - t.last_miss_line <= 5 then begin
+      (* sequential stream detected: run ahead *)
+      for k = 1 to 4 do
+        fill t (line + k)
+      done;
+      t.prefetches <- t.prefetches + 4
+    end;
+    t.last_miss_line <- line;
+    false

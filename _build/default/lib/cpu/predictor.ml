@@ -1,0 +1,29 @@
+(** Two-bit saturating-counter branch predictor (per-PC table). *)
+
+type t = {
+  table : int array;     (* 0..3; >=2 predicts taken *)
+  mask : int;
+  mutable correct : int;
+  mutable mispredicts : int;
+}
+
+let create ?(entries = 4096) () =
+  { table = Array.make entries 1; mask = entries - 1; correct = 0; mispredicts = 0 }
+
+let index t (pc : int32) = (Int32.to_int pc lsr 2) land t.mask
+
+(** Predict and update; returns [true] if the prediction was correct. *)
+let access t (pc : int32) ~(taken : bool) : bool =
+  let i = index t pc in
+  let counter = t.table.(i) in
+  let predicted = counter >= 2 in
+  if taken then t.table.(i) <- min 3 (counter + 1)
+  else t.table.(i) <- max 0 (counter - 1);
+  if predicted = taken then begin
+    t.correct <- t.correct + 1;
+    true
+  end
+  else begin
+    t.mispredicts <- t.mispredicts + 1;
+    false
+  end

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Block Func Instr List Modul Printf Ty Value

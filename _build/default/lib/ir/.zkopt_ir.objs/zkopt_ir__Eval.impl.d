@@ -1,0 +1,1 @@
+lib/ir/eval.ml: Instr Int32 Int64 Ty

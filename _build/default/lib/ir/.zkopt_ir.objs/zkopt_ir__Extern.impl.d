@@ -1,0 +1,1 @@
+lib/ir/extern.ml: Array Int32 Int64 List Printf

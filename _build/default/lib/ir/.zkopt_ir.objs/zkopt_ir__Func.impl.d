@@ -1,0 +1,1 @@
+lib/ir/func.ml: Block Hashtbl Instr List Option Printf String Ty Value

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Block Eval Extern Func Hashtbl Instr Int32 Int64 Layout List Memory Modul Option Printf Ty Value

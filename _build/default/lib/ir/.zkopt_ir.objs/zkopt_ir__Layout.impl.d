@@ -1,0 +1,1 @@
+lib/ir/layout.ml: Hashtbl Int32 List Modul

@@ -1,0 +1,1 @@
+lib/ir/memory.ml: Array Bytes Char Eval Hashtbl Int32 Int64 Modul Printf Ty

@@ -1,0 +1,1 @@
+lib/ir/modul.ml: Array Func Hashtbl Instr List Option Printf String Ty

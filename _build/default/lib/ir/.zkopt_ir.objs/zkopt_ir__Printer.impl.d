@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Block Buffer Func Instr List Modul Printf String Ty Value

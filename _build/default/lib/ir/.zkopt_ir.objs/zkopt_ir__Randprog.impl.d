@@ -1,0 +1,1 @@
+lib/ir/randprog.ml: Array Builder Eval Instr Int32 Int64 List Modul Random Ty Value

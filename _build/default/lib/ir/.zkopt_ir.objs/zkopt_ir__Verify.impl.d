@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Block Extern Func Hashtbl Instr List Modul Option Printf Ty Value

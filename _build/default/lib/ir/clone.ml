@@ -1,0 +1,23 @@
+(** Deep copy of IR, so that each optimization profile starts from a
+    pristine module. *)
+
+let block (b : Block.t) : Block.t =
+  { Block.label = b.label; instrs = b.instrs; term = b.term }
+
+let func (f : Func.t) : Func.t =
+  {
+    Func.name = f.Func.name;
+    params = f.params;
+    ret = f.ret;
+    blocks = List.map block f.blocks;
+    next_reg = f.next_reg;
+    attrs =
+      {
+        Func.always_inline = f.attrs.always_inline;
+        no_inline = f.attrs.no_inline;
+        internal = f.attrs.internal;
+      };
+  }
+
+let modul (m : Modul.t) : Modul.t =
+  { Modul.globals = m.globals; funcs = List.map func m.funcs }

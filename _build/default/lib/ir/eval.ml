@@ -1,0 +1,147 @@
+(** Shared arithmetic semantics.
+
+    Used by the IR interpreter, constant folding, and the RV32 emulator so
+    that all three agree bit-for-bit.  Values are [int64]; [I32]/[Ptr]
+    values are kept zero-extended in the low 32 bits.
+
+    Division follows RISC-V M-extension semantics (no traps):
+    - x / 0 = -1 (all ones), x % 0 = x
+    - min_int / -1 = min_int, min_int % -1 = 0 *)
+
+let mask32 = 0xFFFF_FFFFL
+
+(* Normalize an [I32]/[Ptr] result to the canonical zero-extended form. *)
+let norm32 (x : int64) = Int64.logand x mask32
+
+let norm ty x = match (ty : Ty.t) with I32 | Ptr -> norm32 x | I64 -> x
+
+(* Sign-extend the low 32 bits of [x]. *)
+let sext32 (x : int64) = Int64.of_int32 (Int64.to_int32 x)
+
+let to_bool x = not (Int64.equal x 0L)
+let of_bool b = if b then 1L else 0L
+
+let sdiv32 a b =
+  let a = Int64.to_int32 a and b = Int64.to_int32 b in
+  if Int32.equal b 0l then mask32
+  else if Int32.equal a Int32.min_int && Int32.equal b (-1l) then
+    norm32 (Int64.of_int32 Int32.min_int)
+  else norm32 (Int64.of_int32 (Int32.div a b))
+
+let srem32 a b =
+  let a32 = Int64.to_int32 a and b32 = Int64.to_int32 b in
+  if Int32.equal b32 0l then norm32 a
+  else if Int32.equal a32 Int32.min_int && Int32.equal b32 (-1l) then 0L
+  else norm32 (Int64.of_int32 (Int32.rem a32 b32))
+
+let udiv32 a b = if Int64.equal b 0L then mask32 else Int64.div a b
+let urem32 a b = if Int64.equal b 0L then a else Int64.rem a b
+
+let sdiv64 a b =
+  if Int64.equal b 0L then -1L
+  else if Int64.equal a Int64.min_int && Int64.equal b (-1L) then Int64.min_int
+  else Int64.div a b
+
+let srem64 a b =
+  if Int64.equal b 0L then a
+  else if Int64.equal a Int64.min_int && Int64.equal b (-1L) then 0L
+  else Int64.rem a b
+
+let udiv64 a b = if Int64.equal b 0L then -1L else Int64.unsigned_div a b
+let urem64 a b = if Int64.equal b 0L then a else Int64.unsigned_rem a b
+
+let binop (ty : Ty.t) (op : Instr.binop) (a : int64) (b : int64) : int64 =
+  match ty with
+  | I32 | Ptr -> begin
+    let sa = sext32 a and sb = sext32 b in
+    match op with
+    | Instr.Add -> norm32 (Int64.add a b)
+    | Sub -> norm32 (Int64.sub a b)
+    | Mul -> norm32 (Int64.mul a b)
+    | Mulhu -> Int64.shift_right_logical (Int64.mul a b) 32
+    | Div -> sdiv32 a b
+    | Rem -> srem32 a b
+    | Udiv -> udiv32 a b
+    | Urem -> urem32 a b
+    | And -> Int64.logand a b
+    | Or -> Int64.logor a b
+    | Xor -> Int64.logxor a b
+    | Shl -> norm32 (Int64.shift_left a (Int64.to_int (Int64.logand b 31L)))
+    | Lshr -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 31L))
+    | Ashr ->
+      norm32 (Int64.shift_right sa (Int64.to_int (Int64.logand sb 31L)))
+  end
+  | I64 -> begin
+    match op with
+    | Instr.Add -> Int64.add a b
+    | Sub -> Int64.sub a b
+    | Mul -> Int64.mul a b
+    | Mulhu ->
+      (* 64x64 -> high 64, via 32-bit limbs *)
+      let mask = 0xFFFF_FFFFL in
+      let al = Int64.logand a mask and ah = Int64.shift_right_logical a 32 in
+      let bl = Int64.logand b mask and bh = Int64.shift_right_logical b 32 in
+      let ll = Int64.mul al bl in
+      let lh = Int64.mul al bh in
+      let hl = Int64.mul ah bl in
+      let hh = Int64.mul ah bh in
+      let carry =
+        Int64.shift_right_logical
+          (Int64.add
+             (Int64.add (Int64.logand lh mask) (Int64.logand hl mask))
+             (Int64.shift_right_logical ll 32))
+          32
+      in
+      Int64.add hh
+        (Int64.add
+           (Int64.add (Int64.shift_right_logical lh 32)
+              (Int64.shift_right_logical hl 32))
+           carry)
+    | Div -> sdiv64 a b
+    | Rem -> srem64 a b
+    | Udiv -> udiv64 a b
+    | Urem -> urem64 a b
+    | And -> Int64.logand a b
+    | Or -> Int64.logor a b
+    | Xor -> Int64.logxor a b
+    | Shl -> Int64.shift_left a (Int64.to_int (Int64.logand b 63L))
+    | Lshr -> Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L))
+    | Ashr -> Int64.shift_right a (Int64.to_int (Int64.logand b 63L))
+  end
+
+let cmp (ty : Ty.t) (op : Instr.cmpop) (a : int64) (b : int64) : int64 =
+  let sa, sb =
+    match ty with
+    | I32 | Ptr -> (sext32 a, sext32 b)
+    | I64 -> (a, b)
+  in
+  (* For unsigned comparisons I32 values are already zero-extended; for I64
+     use [unsigned_compare]. *)
+  let ucmp =
+    match ty with
+    | I32 | Ptr -> Int64.compare a b
+    | I64 -> Int64.unsigned_compare a b
+  in
+  of_bool
+    (match op with
+    | Instr.Eq -> Int64.equal a b
+    | Ne -> not (Int64.equal a b)
+    | Slt -> Int64.compare sa sb < 0
+    | Sle -> Int64.compare sa sb <= 0
+    | Sgt -> Int64.compare sa sb > 0
+    | Sge -> Int64.compare sa sb >= 0
+    | Ult -> ucmp < 0
+    | Ule -> ucmp <= 0
+    | Ugt -> ucmp > 0
+    | Uge -> ucmp >= 0)
+
+let cast (op : Instr.castop) (x : int64) : int64 =
+  match op with
+  | Instr.Zext -> norm32 x
+  | Sext -> sext32 (norm32 x)
+  | Trunc -> norm32 x
+
+let addr ~base ~index ~scale ~offset =
+  norm32
+    (Int64.add base
+       (Int64.add (Int64.mul index (Int64.of_int scale)) (Int64.of_int offset)))

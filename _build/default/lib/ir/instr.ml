@@ -1,0 +1,159 @@
+(** IR instructions and terminators.
+
+    This is a register-machine IR rather than strict SSA: a virtual
+    register may be assigned more than once (loop induction variables are
+    written in both the preheader and the latch).  Passes that need
+    def-uniqueness restrict themselves to registers with a single static
+    definition; see {!Analysis} helpers in [zkopt_analysis]. *)
+
+type binop =
+  | Add | Sub | Mul
+  | Mulhu              (** high word of the unsigned product *)
+  | Div | Rem          (** signed; RISC-V semantics for /0 and overflow *)
+  | Udiv | Urem
+  | And | Or | Xor
+  | Shl | Lshr | Ashr  (** shift amounts masked to the type width *)
+
+type cmpop = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+
+type castop =
+  | Zext   (** i32 -> i64, zero extension *)
+  | Sext   (** i32 -> i64, sign extension *)
+  | Trunc  (** i64 -> i32 *)
+
+type t =
+  | Bin of { dst : Value.reg; ty : Ty.t; op : binop; a : Value.t; b : Value.t }
+  | Cmp of { dst : Value.reg; ty : Ty.t; op : cmpop; a : Value.t; b : Value.t }
+      (** [ty] is the type of the operands; [dst] is an [I32] 0/1 *)
+  | Select of { dst : Value.reg; ty : Ty.t; cond : Value.t;
+                if_true : Value.t; if_false : Value.t }
+  | Mov of { dst : Value.reg; ty : Ty.t; src : Value.t }
+  | Cast of { dst : Value.reg; op : castop; src : Value.t }
+  | Load of { dst : Value.reg; ty : Ty.t; addr : Value.t }
+      (** word (I32/Ptr) or dword (I64) load from a 4-byte-aligned address *)
+  | Store of { ty : Ty.t; addr : Value.t; src : Value.t }
+  | Addr of { dst : Value.reg; base : Value.t; index : Value.t;
+              scale : int; offset : int }
+      (** getelementptr-like: [dst = base + index * scale + offset] *)
+  | Alloca of { dst : Value.reg; size : int }
+      (** reserve [size] bytes of stack, 8-aligned; [dst : Ptr] *)
+  | Call of { dst : Value.reg option; callee : string; args : Value.t list }
+  | Precompile of { dst : Value.reg option; name : string; args : Value.t list }
+      (** accelerated builtin circuit (sha256 compression, keccak-f, ...) *)
+
+type term =
+  | Ret of Value.t option
+  | Br of string
+  | Cbr of { cond : Value.t; if_true : string; if_false : string }
+
+(* ------------------------------------------------------------------ *)
+(* Def/use structure                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let def = function
+  | Bin { dst; _ } | Cmp { dst; _ } | Select { dst; _ } | Mov { dst; _ }
+  | Cast { dst; _ } | Load { dst; _ } | Addr { dst; _ } | Alloca { dst; _ } ->
+    Some dst
+  | Call { dst; _ } | Precompile { dst; _ } -> dst
+  | Store _ -> None
+
+let uses_of_value acc = function Value.Reg r -> r :: acc | Value.Imm _ | Value.Glob _ -> acc
+
+let uses = function
+  | Bin { a; b; _ } | Cmp { a; b; _ } -> uses_of_value (uses_of_value [] b) a
+  | Select { cond; if_true; if_false; _ } ->
+    uses_of_value (uses_of_value (uses_of_value [] if_false) if_true) cond
+  | Mov { src; _ } | Cast { src; _ } | Load { addr = src; _ } -> uses_of_value [] src
+  | Store { addr; src; _ } -> uses_of_value (uses_of_value [] src) addr
+  | Addr { base; index; _ } -> uses_of_value (uses_of_value [] index) base
+  | Alloca _ -> []
+  | Call { args; _ } | Precompile { args; _ } ->
+    List.fold_left uses_of_value [] args
+
+let term_uses = function
+  | Ret (Some v) -> uses_of_value [] v
+  | Ret None | Br _ -> []
+  | Cbr { cond; _ } -> uses_of_value [] cond
+
+let successors = function
+  | Ret _ -> []
+  | Br l -> [ l ]
+  | Cbr { if_true; if_false; _ } ->
+    if String.equal if_true if_false then [ if_true ] else [ if_true; if_false ]
+
+(** An instruction with no side effect: removable when its result is dead,
+    and a candidate for hoisting/sinking/CSE.  Loads are not pure (they
+    depend on memory); [Alloca] is not pure (it has an identity). *)
+let is_pure = function
+  | Bin _ | Cmp _ | Select _ | Mov _ | Cast _ | Addr _ -> true
+  | Load _ | Store _ | Alloca _ | Call _ | Precompile _ -> false
+
+(** Pure, or a load: has no effect on state other than defining [dst]. *)
+let has_no_side_effect i = match i with Load _ -> true | _ -> is_pure i
+
+(* Rewrite every operand with [f] (used by cloning, propagation, renaming). *)
+let map_values f instr =
+  match instr with
+  | Bin r -> Bin { r with a = f r.a; b = f r.b }
+  | Cmp r -> Cmp { r with a = f r.a; b = f r.b }
+  | Select r ->
+    Select { r with cond = f r.cond; if_true = f r.if_true; if_false = f r.if_false }
+  | Mov r -> Mov { r with src = f r.src }
+  | Cast r -> Cast { r with src = f r.src }
+  | Load r -> Load { r with addr = f r.addr }
+  | Store r -> Store { r with addr = f r.addr; src = f r.src }
+  | Addr r -> Addr { r with base = f r.base; index = f r.index }
+  | Alloca _ -> instr
+  | Call r -> Call { r with args = List.map f r.args }
+  | Precompile r -> Precompile { r with args = List.map f r.args }
+
+let map_term_values f = function
+  | Ret (Some v) -> Ret (Some (f v))
+  | Ret None as t -> t
+  | Br _ as t -> t
+  | Cbr r -> Cbr { r with cond = f r.cond }
+
+let map_def f instr =
+  match instr with
+  | Bin r -> Bin { r with dst = f r.dst }
+  | Cmp r -> Cmp { r with dst = f r.dst }
+  | Select r -> Select { r with dst = f r.dst }
+  | Mov r -> Mov { r with dst = f r.dst }
+  | Cast r -> Cast { r with dst = f r.dst }
+  | Load r -> Load { r with dst = f r.dst }
+  | Addr r -> Addr { r with dst = f r.dst }
+  | Alloca r -> Alloca { r with dst = f r.dst }
+  | Call r -> Call { r with dst = Option.map f r.dst }
+  | Precompile r -> Precompile { r with dst = Option.map f r.dst }
+  | Store _ -> instr
+
+let map_term_labels f = function
+  | Ret _ as t -> t
+  | Br l -> Br (f l)
+  | Cbr r -> Cbr { r with if_true = f r.if_true; if_false = f r.if_false }
+
+let binop_to_string = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Mulhu -> "mulhu"
+  | Div -> "sdiv" | Rem -> "srem"
+  | Udiv -> "udiv" | Urem -> "urem" | And -> "and" | Or -> "or" | Xor -> "xor"
+  | Shl -> "shl" | Lshr -> "lshr" | Ashr -> "ashr"
+
+let cmpop_to_string = function
+  | Eq -> "eq" | Ne -> "ne" | Slt -> "slt" | Sle -> "sle" | Sgt -> "sgt"
+  | Sge -> "sge" | Ult -> "ult" | Ule -> "ule" | Ugt -> "ugt" | Uge -> "uge"
+
+let is_commutative = function
+  | Add | Mul | Mulhu | And | Or | Xor -> true
+  | Sub | Div | Rem | Udiv | Urem | Shl | Lshr | Ashr -> false
+
+(* Swap a comparison's operands: [a op b]  <=>  [b (swap op) a]. *)
+let cmpop_swap = function
+  | Eq -> Eq | Ne -> Ne
+  | Slt -> Sgt | Sle -> Sge | Sgt -> Slt | Sge -> Sle
+  | Ult -> Ugt | Ule -> Uge | Ugt -> Ult | Uge -> Ule
+
+(* Negate a comparison: [not (a op b)] = [a (negate op) b]. *)
+let cmpop_negate = function
+  | Eq -> Ne | Ne -> Eq
+  | Slt -> Sge | Sle -> Sgt | Sgt -> Sle | Sge -> Slt
+  | Ult -> Uge | Ule -> Ugt | Ugt -> Ule | Uge -> Ult

@@ -1,0 +1,81 @@
+(** Sparse byte-addressed guest memory.
+
+    Backed by 4 KiB chunks allocated on first touch.  Addresses are
+    int32 values interpreted as unsigned.  This module is purely
+    functional storage — cost accounting (zkVM paging, CPU caches) is
+    layered on top by observers. *)
+
+type t = {
+  chunks : (int, Bytes.t) Hashtbl.t;
+}
+
+let chunk_bits = 12
+let chunk_size = 1 lsl chunk_bits
+
+let create () = { chunks = Hashtbl.create 64 }
+
+let addr_to_int (a : int32) = Int32.to_int a land 0xFFFF_FFFF
+
+let chunk_for t key =
+  match Hashtbl.find_opt t.chunks key with
+  | Some c -> c
+  | None ->
+    let c = Bytes.make chunk_size '\000' in
+    Hashtbl.replace t.chunks key c;
+    c
+
+let load8 t addr =
+  let a = addr_to_int addr in
+  match Hashtbl.find_opt t.chunks (a lsr chunk_bits) with
+  | None -> 0
+  | Some c -> Char.code (Bytes.unsafe_get c (a land (chunk_size - 1)))
+
+let store8 t addr v =
+  let a = addr_to_int addr in
+  let c = chunk_for t (a lsr chunk_bits) in
+  Bytes.unsafe_set c (a land (chunk_size - 1)) (Char.chr (v land 0xff))
+
+(* Word accesses must be 4-aligned; the fast path stays within one chunk. *)
+let check_aligned addr =
+  if Int32.to_int addr land 3 <> 0 then
+    failwith (Printf.sprintf "Memory: misaligned word access at 0x%08lx" addr)
+
+let load32 t addr =
+  check_aligned addr;
+  let a = addr_to_int addr in
+  let c = chunk_for t (a lsr chunk_bits) in
+  Bytes.get_int32_le c (a land (chunk_size - 1))
+
+let store32 t addr (v : int32) =
+  check_aligned addr;
+  let a = addr_to_int addr in
+  let c = chunk_for t (a lsr chunk_bits) in
+  Bytes.set_int32_le c (a land (chunk_size - 1)) v
+
+(* 64-bit accesses as two word accesses, little-endian. *)
+let load64 t addr =
+  let lo = Int64.logand (Int64.of_int32 (load32 t addr)) 0xFFFF_FFFFL in
+  let hi = Int64.of_int32 (load32 t (Int32.add addr 4l)) in
+  Int64.logor lo (Int64.shift_left hi 32)
+
+let store64 t addr (v : int64) =
+  store32 t addr (Int64.to_int32 v);
+  store32 t (Int32.add addr 4l) (Int64.to_int32 (Int64.shift_right_logical v 32))
+
+(** Load/store value of IR type [ty] under the canonical int64 encoding. *)
+let load_ty t (ty : Ty.t) addr =
+  match ty with
+  | Ty.I32 | Ptr -> Eval.norm32 (Int64.of_int32 (load32 t addr))
+  | I64 -> load64 t addr
+
+let store_ty t (ty : Ty.t) addr (v : int64) =
+  match ty with
+  | Ty.I32 | Ptr -> store32 t addr (Int64.to_int32 v)
+  | I64 -> store64 t addr v
+
+(** Copy an initialized global image into memory. *)
+let init_global t addr (init : Modul.init) =
+  match init with
+  | Modul.Zero _ -> () (* memory is zero by construction *)
+  | Words ws ->
+    Array.iteri (fun i w -> store32 t (Int32.add addr (Int32.of_int (4 * i))) w) ws

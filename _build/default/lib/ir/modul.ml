@@ -1,0 +1,62 @@
+(** An IR compilation unit: named globals plus functions.  ("module" is a
+    keyword, hence [Modul].) *)
+
+type init =
+  | Zero of int              (** [n] zero bytes *)
+  | Words of int32 array     (** little-endian 32-bit words *)
+
+type global = {
+  gname : string;
+  init : init;
+}
+
+let global_size g =
+  match g.init with Zero n -> n | Words w -> 4 * Array.length w
+
+type t = {
+  mutable globals : global list;
+  mutable funcs : Func.t list;
+}
+
+let create () = { globals = []; funcs = [] }
+
+let add_func m f =
+  if List.exists (fun (g : Func.t) -> String.equal g.name f.Func.name) m.funcs then
+    invalid_arg (Printf.sprintf "Modul.add_func: duplicate function %s" f.Func.name);
+  m.funcs <- m.funcs @ [ f ]
+
+let add_global m g =
+  if List.exists (fun g' -> String.equal g'.gname g.gname) m.globals then
+    invalid_arg (Printf.sprintf "Modul.add_global: duplicate global %s" g.gname);
+  m.globals <- m.globals @ [ g ]
+
+let find_func m name =
+  List.find_opt (fun (f : Func.t) -> String.equal f.Func.name name) m.funcs
+
+let find_func_exn m name =
+  match find_func m name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Modul.find_func: no function %S" name)
+
+let find_global m name =
+  List.find_opt (fun g -> String.equal g.gname name) m.globals
+
+let main m = find_func_exn m "main"
+
+let instr_count m =
+  List.fold_left (fun acc f -> acc + Func.instr_count f) 0 m.funcs
+
+(** Per-register types for [f], with call results refined by callee return
+    types.  Precompiles return I32. *)
+let reg_types m (f : Func.t) =
+  let types = Func.reg_types f in
+  Func.iter_instrs f (fun _ i ->
+      match i with
+      | Instr.Call { dst = Some d; callee; _ } -> begin
+        match find_func m callee with
+        | Some callee_f ->
+          Hashtbl.replace types d (Option.value ~default:Ty.I32 callee_f.ret)
+        | None -> ()
+      end
+      | _ -> ());
+  types

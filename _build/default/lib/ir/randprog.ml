@@ -1,0 +1,215 @@
+(** Seeded random well-formed program generator.
+
+    Used by the property tests (and the pass-development workflow) as a
+    differential oracle in the spirit of compiler-testing work the paper
+    cites: for any generated program, every optimization pass must
+    preserve the interpreted checksum, and the compiled RV32 binary must
+    agree with the interpreter.
+
+    Programs always terminate: loops are counted with small constant
+    bounds, there are no while loops, and recursion is not generated.
+    Memory accesses are masked in-bounds. *)
+
+module B = Builder
+
+type gen = {
+  rng : Random.State.t;
+  mutable vars32 : Value.reg list;   (* mutable i32 variables *)
+  mutable vars64 : Value.reg list;
+  mutable ro32 : Value.reg list;     (* readable but never reassigned (loop ivs) *)
+  mutable depth : int;
+  mutable budget : int;              (* remaining instructions to emit *)
+}
+
+let array_words = 64 (* each global array holds 64 words *)
+
+let pick g xs = List.nth xs (Random.State.int g.rng (List.length xs))
+
+let rand_imm g =
+  match Random.State.int g.rng 6 with
+  | 0 -> B.imm 0
+  | 1 -> B.imm 1
+  | 2 -> B.imm (-1)
+  | 3 -> B.imm (Random.State.int g.rng 64)
+  | 4 -> B.imm (Random.State.int g.rng 1_000_000 - 500_000)
+  | _ -> B.imm64 (Random.State.int64 g.rng Int64.max_int)
+
+let rand_value32 g =
+  let readable = g.ro32 @ g.vars32 in
+  if readable <> [] && Random.State.bool g.rng then Value.Reg (pick g readable)
+  else
+    match rand_imm g with
+    | Value.Imm i -> Value.Imm (Eval.norm32 i)
+    | v -> v
+
+let rand_value64 g =
+  if g.vars64 <> [] && Random.State.bool g.rng then Value.Reg (pick g g.vars64)
+  else rand_imm g
+
+let binops64 =
+  [| Instr.Add; Sub; Mul; Div; Rem; Udiv; Urem; And; Or; Xor; Shl; Lshr; Ashr |]
+
+let binops32 = Array.append binops64 [| Instr.Mulhu |]
+
+let cmpops = [| Instr.Eq; Ne; Slt; Sle; Sgt; Sge; Ult; Ule; Ugt; Uge |]
+
+let rand_expr32 g b =
+  match Random.State.int g.rng 10 with
+  | 0 | 1 | 2 | 3 ->
+    let op = binops32.(Random.State.int g.rng (Array.length binops32)) in
+    B.bin b Ty.I32 op (rand_value32 g) (rand_value32 g)
+  | 4 ->
+    let op = cmpops.(Random.State.int g.rng (Array.length cmpops)) in
+    B.icmp b op (rand_value32 g) (rand_value32 g)
+  | 5 ->
+    B.select b
+      (B.icmp b Instr.Ne (rand_value32 g) (B.imm 0))
+      (rand_value32 g) (rand_value32 g)
+  | 6 when g.vars64 <> [] -> B.trunc b (rand_value64 g)
+  | 7 ->
+    (* in-bounds load *)
+    let idx = B.and_ b (rand_value32 g) (B.imm (array_words - 1)) in
+    B.load b (B.addr b (Value.Glob "garr") ~index:idx)
+  | _ -> rand_value32 g |> fun v -> B.add b v (B.imm 0)
+
+let rand_expr64 g b =
+  match Random.State.int g.rng 6 with
+  | 0 | 1 | 2 ->
+    let op = binops64.(Random.State.int g.rng (Array.length binops64)) in
+    B.bin b Ty.I64 op (rand_value64 g) (rand_value64 g)
+  | 3 -> B.zext b (rand_value32 g)
+  | 4 -> B.sext b (rand_value32 g)
+  | _ ->
+    B.select ~ty:Ty.I64 b
+      (B.icmp ~ty:Ty.I64 b Instr.Slt (rand_value64 g) (rand_value64 g))
+      (rand_value64 g) (rand_value64 g)
+
+let rec rand_stmt g b ~can_call =
+  g.budget <- g.budget - 1;
+  if g.budget <= 0 then ()
+  else
+    match Random.State.int g.rng 12 with
+    | 0 | 1 | 2 ->
+      let v = rand_expr32 g b in
+      let r = B.var b Ty.I32 v in
+      g.vars32 <- r :: g.vars32
+    | 3 ->
+      let v = rand_expr64 g b in
+      let r = B.var b Ty.I64 v in
+      g.vars64 <- r :: g.vars64
+    | 4 when g.vars32 <> [] ->
+      B.set b Ty.I32 (pick g g.vars32) (rand_expr32 g b)
+    | 5 when g.vars64 <> [] ->
+      B.set b Ty.I64 (pick g g.vars64) (rand_expr64 g b)
+    | 6 ->
+      (* in-bounds store *)
+      let idx = B.and_ b (rand_value32 g) (B.imm (array_words - 1)) in
+      B.store b ~addr:(B.addr b (Value.Glob "garr") ~index:idx) (rand_value32 g)
+    | 7 when g.depth < 3 ->
+      let bound = 1 + Random.State.int g.rng 6 in
+      g.depth <- g.depth + 1;
+      let saved32 = g.vars32 and saved64 = g.vars64 and saved_ro = g.ro32 in
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm bound) (fun iv ->
+          g.ro32 <- (match iv with Value.Reg r -> r :: saved_ro | _ -> saved_ro);
+          let n = 1 + Random.State.int g.rng 3 in
+          for _ = 1 to n do
+            rand_stmt g b ~can_call
+          done);
+      g.vars32 <- saved32;
+      g.vars64 <- saved64;
+      g.ro32 <- saved_ro;
+      g.depth <- g.depth - 1
+    | 8 when g.depth < 3 ->
+      let c = B.icmp b Instr.Ne (rand_value32 g) (B.imm 0) in
+      g.depth <- g.depth + 1;
+      let saved32 = g.vars32 and saved64 = g.vars64 in
+      let arm () =
+        g.vars32 <- saved32;
+        g.vars64 <- saved64;
+        let n = 1 + Random.State.int g.rng 3 in
+        for _ = 1 to n do
+          rand_stmt g b ~can_call
+        done
+      in
+      if Random.State.bool g.rng then B.if_ b c ~then_:arm ()
+      else B.if_ b c ~then_:arm ~else_:arm ();
+      g.vars32 <- saved32;
+      g.vars64 <- saved64;
+      g.depth <- g.depth - 1
+    | 9 when can_call ->
+      let r = B.callv b "helper" [ rand_value32 g; rand_value64 g ] in
+      g.vars32 <- (match r with Value.Reg r -> r :: g.vars32 | _ -> g.vars32)
+    | _ ->
+      let v = rand_expr32 g b in
+      let r = B.var b Ty.I32 v in
+      g.vars32 <- r :: g.vars32
+
+let checksum_expr g b =
+  let acc = B.var b Ty.I32 (B.imm 0x9E3779B9) in
+  List.iter
+    (fun r ->
+      let mixed = B.mul b (Value.Reg acc) (B.imm 31) in
+      B.set b Ty.I32 acc (B.xor b mixed (Value.Reg r)))
+    g.vars32;
+  List.iter
+    (fun r ->
+      let lo = B.trunc b (Value.Reg r) in
+      let hi = B.trunc b (B.lshr ~ty:Ty.I64 b (Value.Reg r) (B.imm 32)) in
+      let mixed = B.mul b (Value.Reg acc) (B.imm 33) in
+      B.set b Ty.I32 acc (B.xor b mixed (B.add b lo hi)))
+    g.vars64;
+  (* fold the global array in as well *)
+  B.for_ b ~from:(B.imm 0) ~bound:(B.imm array_words) (fun i ->
+      let v = B.load b (B.addr b (Value.Glob "garr") ~index:i) in
+      let mixed = B.mul b (Value.Reg acc) (B.imm 37) in
+      B.set b Ty.I32 acc (B.xor b mixed v));
+  Value.Reg acc
+
+(** Generate a random module whose [main] returns a checksum of every
+    live variable and the global array.  [probe] (debugging aid) returns
+    the value of a single i32/i64 variable instead of the checksum. *)
+let generate ?probe ~seed () : Modul.t =
+  let rng = Random.State.make [| seed |] in
+  let m = Modul.create () in
+  ignore
+    (B.global_words m "garr"
+       (Array.init array_words (fun i ->
+            Int32.of_int (Random.State.int rng 0x3FFFFFFF + i))));
+  (* a small helper so passes like inline/ipsccp/deadarg have material *)
+  ignore
+    (B.define m "helper" ~params:[ Ty.I32; Ty.I64 ] ~ret:Ty.I32 (fun b ps ->
+         let g = { rng; vars32 = []; vars64 = []; ro32 = []; depth = 2; budget = 8 } in
+         (match ps with
+         | [ Value.Reg a; Value.Reg b64 ] ->
+           g.vars32 <- [ a ];
+           g.vars64 <- [ b64 ]
+         | _ -> ());
+         for _ = 1 to 4 do
+           rand_stmt g b ~can_call:false
+         done;
+         let acc = B.var b Ty.I32 (B.imm 17) in
+         List.iter
+           (fun r -> B.set b Ty.I32 acc (B.xor b (Value.Reg acc) (Value.Reg r)))
+           g.vars32;
+         B.ret b (Some (Value.Reg acc))));
+  ignore
+    (B.define m "main" ~params:[] ~ret:Ty.I32 (fun b _ ->
+         let g = { rng; vars32 = []; vars64 = []; ro32 = []; depth = 0; budget = 60 } in
+         let n = 6 + Random.State.int rng 10 in
+         for _ = 1 to n do
+           rand_stmt g b ~can_call:true
+         done;
+         match probe with
+         | None -> B.ret b (Some (checksum_expr g b))
+         | Some k ->
+           let n32 = List.length g.vars32 in
+           if k < n32 then B.ret b (Some (Value.Reg (List.nth g.vars32 k)))
+           else begin
+             let r = List.nth g.vars64 (k - n32) in
+             let lo = B.trunc b (Value.Reg r) in
+             let hi = B.trunc b (B.lshr ~ty:Ty.I64 b (Value.Reg r) (B.imm 32)) in
+             B.ret b (Some (B.xor b lo (B.mul b hi (B.imm 2654435761))))
+           end));
+  m
+
+

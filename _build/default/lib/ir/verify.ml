@@ -1,0 +1,179 @@
+(** IR well-formedness checker.
+
+    Run after construction and after every pass in tests; catches dangling
+    labels, type inconsistencies, undefined registers and malformed calls
+    before they turn into silent interpreter/emulator divergence. *)
+
+exception Ill_formed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Ill_formed s)) fmt
+
+let check_func (m : Modul.t) (f : Func.t) =
+  if f.Func.blocks = [] then fail "%s: no blocks" f.name;
+  (* unique labels *)
+  let labels = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      if Hashtbl.mem labels b.label then fail "%s: duplicate label %s" f.name b.label;
+      Hashtbl.replace labels b.label ())
+    f.blocks;
+  (* branch targets exist *)
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun l ->
+          if not (Hashtbl.mem labels l) then
+            fail "%s: block %s branches to unknown label %s" f.name b.label l)
+        (Block.successors b))
+    f.blocks;
+  (* register typing: one consistent type per register *)
+  let types : (Value.reg, Ty.t) Hashtbl.t = Hashtbl.create 64 in
+  let assign r ty =
+    match Hashtbl.find_opt types r with
+    | Some ty' when not (Ty.equal ty ty') ->
+      fail "%s: register %%r%d defined as both %s and %s" f.name r
+        (Ty.to_string ty') (Ty.to_string ty)
+    | _ -> Hashtbl.replace types r ty
+  in
+  List.iter (fun (r, ty) -> assign r ty) f.params;
+  (* next_reg covers all defs *)
+  let check_reg_bound r =
+    if r >= f.next_reg then
+      fail "%s: register %%r%d >= next_reg %d" f.name r f.next_reg
+  in
+  Func.iter_instrs f (fun _ i ->
+      Option.iter check_reg_bound (Instr.def i);
+      match i with
+      | Instr.Bin { dst; ty; _ } | Select { dst; ty; _ } | Mov { dst; ty; _ }
+      | Load { dst; ty; _ } ->
+        assign dst ty
+      | Cmp { dst; _ } -> assign dst Ty.I32
+      | Cast { dst; op; _ } ->
+        assign dst (match op with Instr.Trunc -> Ty.I32 | Zext | Sext -> Ty.I64)
+      | Addr { dst; _ } | Alloca { dst; _ } -> assign dst Ty.Ptr
+      | Call { dst; callee; args } -> begin
+        match Modul.find_func m callee with
+        | None -> fail "%s: call to unknown function %s" f.name callee
+        | Some callee_f ->
+          if List.length args <> List.length callee_f.params then
+            fail "%s: call to %s with %d args (expected %d)" f.name callee
+              (List.length args)
+              (List.length callee_f.params);
+          (match (dst, callee_f.ret) with
+          | Some d, Some ty -> assign d ty
+          | Some _, None -> fail "%s: binding result of void function %s" f.name callee
+          | None, _ -> ())
+      end
+      | Precompile { name; args; dst } -> begin
+        match List.assoc_opt name Extern.signatures with
+        | None -> fail "%s: unknown precompile %s" f.name name
+        | Some arity ->
+          if List.length args <> arity then
+            fail "%s: precompile %s with %d args (expected %d)" f.name name
+              (List.length args) arity;
+          Option.iter (fun d -> assign d Ty.I32) dst
+      end
+      | Store _ -> ());
+  (* operand width checking: i32/ptr are interchangeable words, i64 is
+     distinct.  Immediates and globals fit anywhere. *)
+  let width = function Ty.I32 | Ty.Ptr -> 32 | Ty.I64 -> 64 in
+  let check_width ctx expect v =
+    match v with
+    | Value.Reg r -> begin
+      match Hashtbl.find_opt types r with
+      | Some ty when width ty <> width expect ->
+        fail "%s: %s operand %%r%d has width %d, expected %d" f.name ctx r
+          (width ty) (width expect)
+      | _ -> ()
+    end
+    | Value.Imm _ | Value.Glob _ -> ()
+  in
+  Func.iter_instrs f (fun _ i ->
+      match i with
+      | Instr.Bin { ty; op = _; a; b; _ } ->
+        check_width "bin" ty a;
+        check_width "bin" ty b
+      | Cmp { ty; a; b; _ } ->
+        check_width "cmp" ty a;
+        check_width "cmp" ty b
+      | Select { ty; if_true; if_false; _ } ->
+        check_width "select" ty if_true;
+        check_width "select" ty if_false
+      | Mov { ty; src; _ } -> check_width "mov" ty src
+      | Cast { op = Instr.Zext | Sext; src; _ } -> check_width "cast" Ty.I32 src
+      | Cast { op = Instr.Trunc; src; _ } -> check_width "cast" Ty.I64 src
+      | Load { addr; _ } -> check_width "load address" Ty.Ptr addr
+      | Store { ty; addr; src } ->
+        check_width "store address" Ty.Ptr addr;
+        check_width "store" ty src
+      | Addr { base; index; _ } ->
+        check_width "addr base" Ty.Ptr base;
+        check_width "addr index" Ty.I32 index
+      | Alloca _ | Call _ | Precompile _ -> ());
+  (* select/cbr conditions must be 32-bit (codegen lowers them as such) *)
+  let check_cond ctx v =
+    match v with
+    | Value.Reg r -> begin
+      match Hashtbl.find_opt types r with
+      | Some Ty.I64 -> fail "%s: %s condition %%r%d has type i64" f.name ctx r
+      | _ -> ()
+    end
+    | Value.Imm _ | Value.Glob _ -> ()
+  in
+  Func.iter_instrs f (fun _ i ->
+      match i with
+      | Instr.Select { cond; _ } -> check_cond "select" cond
+      | _ -> ());
+  List.iter
+    (fun (b : Block.t) ->
+      match b.Block.term with
+      | Instr.Cbr { cond; _ } -> check_cond "cbr" cond
+      | _ -> ())
+    f.blocks;
+  (* every used register has some definition (or is a parameter) *)
+  let defined = Hashtbl.create 64 in
+  List.iter (fun (r, _) -> Hashtbl.replace defined r ()) f.params;
+  Func.iter_instrs f (fun _ i -> Option.iter (fun r -> Hashtbl.replace defined r ()) (Instr.def i));
+  let check_use b r =
+    if not (Hashtbl.mem defined r) then
+      fail "%s: block %s uses undefined register %%r%d" f.name b r
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter (fun i -> List.iter (check_use b.label) (Instr.uses i)) b.instrs;
+      List.iter (check_use b.label) (Instr.term_uses b.term))
+    f.blocks;
+  (* return type matches *)
+  List.iter
+    (fun (b : Block.t) ->
+      match (b.term, f.ret) with
+      | Instr.Ret None, Some _ -> fail "%s: ret void from non-void function" f.name
+      | Instr.Ret (Some _), None -> fail "%s: ret value from void function" f.name
+      | _ -> ())
+    f.blocks
+
+let check_module (m : Modul.t) =
+  (* unique global names *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Modul.global) ->
+      if Hashtbl.mem seen g.gname then fail "duplicate global %s" g.gname;
+      Hashtbl.replace seen g.gname ())
+    m.globals;
+  (* globals referenced exist *)
+  List.iter
+    (fun (f : Func.t) ->
+      let check_value = function
+        | Value.Glob g when Modul.find_global m g = None ->
+          fail "%s references unknown global %s" f.name g
+        | _ -> ()
+      in
+      Func.iter_instrs f (fun _ i -> ignore (Instr.map_values (fun v -> check_value v; v) i)))
+    m.funcs;
+  List.iter (check_func m) m.funcs
+
+(** [check m] raises {!Ill_formed} when [m] is malformed. *)
+let check = check_module
+
+let is_well_formed m =
+  match check m with () -> true | exception Ill_formed _ -> false

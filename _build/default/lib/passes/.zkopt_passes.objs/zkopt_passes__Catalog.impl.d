@@ -1,0 +1,1 @@
+lib/passes/catalog.ml: Cfgopts Constfold Dce Gvn Inline Interproc List Loopopts Loopopts2 Mempass Noops Option Pass Peephole Zkopt_ir

@@ -1,0 +1,1 @@
+lib/passes/cfgopts.ml: Array Block Cfg Constfold Dom Eval Func Hashtbl Instr Intset Lazy List Loops Modul Option Pass String Ty Util Value Zkopt_analysis Zkopt_ir

@@ -1,0 +1,1 @@
+lib/passes/constfold.ml: Block Defs Eval Func Instr List Modul Pass String Ty Util Value Zkopt_analysis Zkopt_ir

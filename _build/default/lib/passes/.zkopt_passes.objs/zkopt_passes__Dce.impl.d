@@ -1,0 +1,1 @@
+lib/passes/dce.ml: Block Defs Func Hashtbl Instr List Modul Pass Queue Ty Value Zkopt_analysis Zkopt_ir

@@ -1,0 +1,1 @@
+lib/passes/gvn.ml: Array Block Cfg Defs Dom Func Hashtbl Instr List Modul Pass Ty Value Zkopt_analysis Zkopt_ir

@@ -1,0 +1,1 @@
+lib/passes/inline.ml: Block Callgraph Func Hashtbl Instr List Modul Option Pass String Ty Util Zkopt_analysis Zkopt_ir

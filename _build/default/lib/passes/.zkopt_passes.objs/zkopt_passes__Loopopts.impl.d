@@ -1,0 +1,1 @@
+lib/passes/loopopts.ml: Array Block Cfg Defs Eval Func Hashtbl Instr Int64 Intset List Loops Modul Option Pass Printf String Ty Util Value Zkopt_analysis Zkopt_ir

@@ -1,0 +1,1 @@
+lib/passes/loopopts2.ml: Array Block Cfg Defs Eval Func Hashtbl Instr Int64 Intset List Loopopts Loops Modul Option Pass String Ty Util Value Zkopt_analysis Zkopt_ir

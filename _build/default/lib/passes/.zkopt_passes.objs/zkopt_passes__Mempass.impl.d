@@ -1,0 +1,1 @@
+lib/passes/mempass.ml: Block Cfg Defs Func Hashtbl Instr Int64 Intset List Liveness Modul Pass Ty Value Zkopt_analysis Zkopt_ir

@@ -1,0 +1,1 @@
+lib/passes/noops.ml: Block Func Instr List Modul Pass Zkopt_ir

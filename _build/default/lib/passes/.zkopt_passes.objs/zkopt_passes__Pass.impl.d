@@ -1,0 +1,1 @@
+lib/passes/pass.ml: Hashtbl List Modul Printf Zkopt_ir

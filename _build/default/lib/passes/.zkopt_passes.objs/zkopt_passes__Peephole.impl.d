@@ -1,0 +1,1 @@
+lib/passes/peephole.ml: Block Defs Eval Func Hashtbl Instr Int64 List Modul Option Pass Ty Util Value Zkopt_analysis Zkopt_ir

@@ -1,0 +1,1 @@
+lib/passes/util.ml: Array Block Cfg Defs Func Hashtbl Instr Intset List Loops Option String Value Zkopt_analysis Zkopt_ir

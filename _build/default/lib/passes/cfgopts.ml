@@ -1,0 +1,488 @@
+(** Control-flow passes: simplifycfg (merge, prune, if-convert),
+    jump-threading, tail duplication, block placement, hot/cold layout
+    splitting, and critical-edge splitting.
+
+    If-conversion (branch -> select) is the paper's Fig. 12 subject: the
+    zkVM-aware configuration disables it because both arms end up being
+    evaluated inside the proof while the branch itself costs nothing. *)
+
+open Zkopt_ir
+open Zkopt_analysis
+
+(* ------------------------------------------------------------------ *)
+(* simplifycfg                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* merge B -> S when S is B's unique successor and B is S's unique
+   predecessor *)
+let merge_straightline (f : Func.t) =
+  let changed = ref false in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    let cfg = Cfg.of_func f in
+    (try
+       for i = 0 to Cfg.size cfg - 1 do
+         match cfg.Cfg.succ.(i) with
+         | [ s ] when s <> i && cfg.Cfg.pred.(s) = [ i ] && s <> 0 ->
+           let b = Cfg.block cfg i and sb = Cfg.block cfg s in
+           b.Block.instrs <- b.Block.instrs @ sb.Block.instrs;
+           b.Block.term <- sb.Block.term;
+           Func.remove_block f sb.Block.label;
+           progress := true;
+           changed := true;
+           raise Exit
+         | _ -> ()
+       done
+     with Exit -> ())
+  done;
+  !changed
+
+(* remove blocks that only jump elsewhere *)
+let remove_empty_blocks (f : Func.t) =
+  let changed = ref false in
+  let entry_label = (Func.entry f).Block.label in
+  let rec loop () =
+    let victim =
+      List.find_opt
+        (fun (b : Block.t) ->
+          b.Block.instrs = []
+          && (not (String.equal b.Block.label entry_label))
+          &&
+          match b.Block.term with
+          | Instr.Br l -> not (String.equal l b.Block.label)
+          | _ -> false)
+        f.Func.blocks
+    in
+    match victim with
+    | Some b ->
+      let target = match b.Block.term with Instr.Br l -> l | _ -> assert false in
+      Util.redirect_edges f ~from:b.Block.label ~to_:target;
+      Func.remove_block f b.Block.label;
+      changed := true;
+      loop ()
+    | None -> ()
+  in
+  loop ();
+  !changed
+
+(* if-conversion: diamond [A -> T|F -> J] or triangle [A -> T -> J, A -> J]
+   with tiny, pure arms becomes straight-line selects *)
+let if_convert (config : Pass.config) (f : Func.t) =
+  if not config.Pass.simplifycfg_select then false
+  else begin
+    let changed = ref false in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      let cfg = Cfg.of_func f in
+      let dom = Dom.compute cfg in
+      let arm_ok (b : Block.t) =
+        List.length b.Block.instrs <= config.Pass.select_max_side_instrs
+        && List.for_all Instr.is_pure b.Block.instrs
+      in
+      let single_pred i = match cfg.Cfg.pred.(i) with [ _ ] -> true | _ -> false in
+      (* defs of the arm that are observable after it (not arm-local temps) *)
+      let arm_exports (arm : Block.t) =
+        let defs =
+          List.filter_map Instr.def arm.Block.instrs |> List.sort_uniq compare
+        in
+        List.filter
+          (fun r ->
+            let outside = ref false in
+            Func.iter_blocks f (fun blk ->
+                if not (blk == arm) then begin
+                  List.iter
+                    (fun i -> if List.mem r (Instr.uses i) then outside := true)
+                    blk.Block.instrs;
+                  if List.mem r (Instr.term_uses blk.Block.term) then
+                    outside := true
+                end);
+            !outside)
+          defs
+      in
+      (* all defs of [r] outside blocks [t]/[fb] are in blocks dominating [a] *)
+      let defined_before a skip r =
+        let ok = ref false in
+        Array.iteri
+          (fun i (blk : Block.t) ->
+            if not (List.mem i skip) then
+              List.iter
+                (fun ins ->
+                  if Instr.def ins = Some r then
+                    if i = a || Dom.dominates dom i a then ok := true)
+                blk.Block.instrs)
+          cfg.Cfg.blocks;
+        !ok
+      in
+      let reg_tys = lazy (Func.reg_types f) in
+      let try_convert a =
+        let ab = Cfg.block cfg a in
+        match ab.Block.term with
+        | Instr.Cbr { cond; if_true; if_false }
+          when not (String.equal if_true if_false) -> begin
+          let ti = Cfg.index_of_exn cfg if_true in
+          let fi = Cfg.index_of_exn cfg if_false in
+          let tb = Cfg.block cfg ti and fb = Cfg.block cfg fi in
+          let join_of (b : Block.t) =
+            match b.Block.term with Instr.Br l -> Some l | _ -> None
+          in
+          let finish ~t_arm ~f_arm ~merged ~join =
+            (* rename defs in each arm, hoist both, select merged regs *)
+            let rename (arm : Instr.t list) =
+              let map = Hashtbl.create 4 in
+              let instrs =
+                List.map
+                  (fun i ->
+                    let i =
+                      Instr.map_values
+                        (fun v ->
+                          match v with
+                          | Value.Reg r when Hashtbl.mem map r ->
+                            Value.Reg (Hashtbl.find map r)
+                          | v -> v)
+                        i
+                    in
+                    Instr.map_def
+                      (fun d ->
+                        let d' = Func.fresh_reg f in
+                        Hashtbl.replace map d d';
+                        d')
+                      i)
+                  arm
+              in
+              (instrs, map)
+            in
+            let t_instrs, t_map = rename t_arm in
+            let f_instrs, f_map = rename f_arm in
+            let selects =
+              List.map
+                (fun r ->
+                  let tv =
+                    match Hashtbl.find_opt t_map r with
+                    | Some r' -> Value.Reg r'
+                    | None -> Value.Reg r
+                  in
+                  let fv =
+                    match Hashtbl.find_opt f_map r with
+                    | Some r' -> Value.Reg r'
+                    | None -> Value.Reg r
+                  in
+                  let ty =
+                    Option.value ~default:Ty.I32
+                      (Hashtbl.find_opt (Lazy.force reg_tys) r)
+                  in
+                  Instr.Select { dst = r; ty; cond; if_true = tv; if_false = fv })
+                merged
+            in
+            ab.Block.instrs <- ab.Block.instrs @ t_instrs @ f_instrs @ selects;
+            ab.Block.term <- Instr.Br join;
+            progress := true;
+            changed := true
+          in
+          (* diamond *)
+          match (join_of tb, join_of fb) with
+          | Some jt, Some jf
+            when String.equal jt jf && ti <> fi && single_pred ti && single_pred fi
+                 && arm_ok tb && arm_ok fb
+                 && (not (String.equal jt if_true))
+                 && not (String.equal jt if_false) ->
+            let dt = arm_exports tb and df = arm_exports fb in
+            let merged = List.sort_uniq compare (dt @ df) in
+            (* exported regs set by only one arm must be defined before A
+               so the select's other input is well-defined *)
+            let one_sided =
+              List.filter (fun r -> not (List.mem r df)) dt
+              @ List.filter (fun r -> not (List.mem r dt)) df
+            in
+            if
+              List.for_all (fun r -> defined_before a [ ti; fi ] r) one_sided
+            then begin
+              finish ~t_arm:tb.Block.instrs ~f_arm:fb.Block.instrs ~merged
+                ~join:jt;
+              true
+            end
+            else false
+          | _ -> begin
+            (* triangle: A -> T -> J with A -> J *)
+            let triangle arm_i arm_b other_label ~arm_is_true =
+              match join_of arm_b with
+              | Some j
+                when String.equal j other_label && single_pred arm_i
+                     && arm_ok arm_b
+                     && not (String.equal j arm_b.Block.label) ->
+                let merged = arm_exports arm_b in
+                if List.for_all (fun r -> defined_before a [ arm_i ] r) merged
+                then begin
+                  if arm_is_true then
+                    finish ~t_arm:arm_b.Block.instrs ~f_arm:[] ~merged ~join:j
+                  else finish ~t_arm:[] ~f_arm:arm_b.Block.instrs ~merged ~join:j;
+                  true
+                end
+                else false
+              | _ -> false
+            in
+            triangle ti tb if_false ~arm_is_true:true
+            || triangle fi fb if_true ~arm_is_true:false
+          end
+        end
+        | _ -> false
+      in
+      (try
+         for a = 0 to Cfg.size cfg - 1 do
+           if try_convert a then raise Exit
+         done
+       with Exit -> ())
+    done;
+    !changed
+  end
+
+let run_simplifycfg (config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      (* constant-branch folding first so pruning sees dead edges *)
+      Func.iter_blocks f (fun b ->
+          match b.Block.term with
+          | Instr.Cbr { cond = Value.Imm c; if_true; if_false } ->
+            b.Block.term <- Instr.Br (if Eval.to_bool c then if_true else if_false);
+            changed := true
+          | Cbr { if_true; if_false; _ } when String.equal if_true if_false ->
+            b.Block.term <- Instr.Br if_true;
+            changed := true
+          | _ -> ());
+      if Util.remove_unreachable_blocks f then changed := true;
+      if remove_empty_blocks f then changed := true;
+      if merge_straightline f then changed := true;
+      if if_convert config f then changed := true;
+      if Util.remove_unreachable_blocks f then changed := true)
+    m.Modul.funcs;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* jump threading                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* end-of-block constant environment *)
+let const_env (b : Block.t) =
+  let env = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      match (Instr.def i, i) with
+      | Some d, Instr.Mov { src = Value.Imm c; _ } -> Hashtbl.replace env d (Some c)
+      | Some d, _ -> Hashtbl.replace env d None
+      | None, _ -> ())
+    b.Block.instrs;
+  env
+
+let run_jump_threading (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let budget = ref 8 in
+      let progress = ref true in
+      while !progress && !budget > 0 do
+        progress := false;
+        decr budget;
+        let cfg = Cfg.of_func f in
+        (try
+           for bi = 0 to Cfg.size cfg - 1 do
+             let b = Cfg.block cfg bi in
+             let small =
+               List.length b.Block.instrs <= 4
+               && List.for_all Instr.is_pure b.Block.instrs
+             in
+             match b.Block.term with
+             | Instr.Cbr _ when small && List.length cfg.Cfg.pred.(bi) > 1 ->
+               List.iter
+                 (fun pi ->
+                   let p = Cfg.block cfg pi in
+                   match p.Block.term with
+                   | Instr.Br l when String.equal l b.Block.label && pi <> bi ->
+                     (* clone b, substitute constants known at the end of p,
+                        and commit only when the branch folds *)
+                     let env = const_env p in
+                     let subst v =
+                       match v with
+                       | Value.Reg r -> begin
+                         match Hashtbl.find_opt env r with
+                         | Some (Some c) -> Value.Imm c
+                         | _ -> v
+                       end
+                       | v -> v
+                     in
+                     (* the clone shares the original's registers so that
+                        downstream uses observe the same definitions on
+                        either path *)
+                     let _, cloned, _ =
+                       Util.clone_blocks ~rename_regs:false f [ b ]
+                         ~label_suffix:".thread"
+                     in
+                     let nb = List.hd cloned in
+                     nb.Block.instrs <-
+                       List.map
+                         (fun i ->
+                           let i = Instr.map_values subst i in
+                           match Constfold.fold_instr i with
+                           | Some i' -> i'
+                           | None -> i)
+                         nb.Block.instrs;
+                     (* local constant propagation within the clone *)
+                     let env2 = const_env nb in
+                     nb.Block.term <-
+                       Instr.map_term_values
+                         (fun v ->
+                           match v with
+                           | Value.Reg r -> begin
+                             match Hashtbl.find_opt env2 r with
+                             | Some (Some c) -> Value.Imm c
+                             | _ -> subst v
+                           end
+                           | v -> subst v)
+                         nb.Block.term;
+                     (match nb.Block.term with
+                     | Instr.Cbr { cond = Value.Imm c; if_true; if_false } ->
+                       nb.Block.term <-
+                         Instr.Br (if Eval.to_bool c then if_true else if_false);
+                       Func.add_block f nb;
+                       p.Block.term <- Instr.Br nb.Block.label;
+                       progress := true;
+                       changed := true;
+                       raise Exit
+                     | _ -> () (* no fold: discard the clone *))
+                   | _ -> ())
+                 cfg.Cfg.pred.(bi)
+             | _ -> ()
+           done
+         with Exit -> ());
+        if !progress then ignore (Util.remove_unreachable_blocks f)
+      done)
+    m.Modul.funcs;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* layout passes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* tail duplication: a small pure block with several Br-predecessors is
+   cloned into each, turning jumps into fallthrough opportunities *)
+let run_tail_dup (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let cfg = Cfg.of_func f in
+      for bi = 1 to Cfg.size cfg - 1 do
+        let b = Cfg.block cfg bi in
+        let small =
+          List.length b.Block.instrs <= 3
+          && List.for_all Instr.is_pure b.Block.instrs
+          && match b.Block.term with Instr.Ret _ | Br _ -> true | Cbr _ -> false
+        in
+        let preds = cfg.Cfg.pred.(bi) in
+        if small && List.length preds > 1 then
+          List.iter
+            (fun pi ->
+              if pi <> bi then
+                let p = Cfg.block cfg pi in
+                match p.Block.term with
+                | Instr.Br l when String.equal l b.Block.label ->
+                  p.Block.instrs <- p.Block.instrs @ b.Block.instrs;
+                  p.Block.term <- b.Block.term;
+                  changed := true
+                | _ -> ())
+            preds
+      done;
+      ignore (Util.remove_unreachable_blocks f))
+    m.Modul.funcs;
+  !changed
+
+(* block placement: lay blocks out in reverse postorder so likely paths
+   fall through (the selector elides jumps to the next block) *)
+let run_block_placement (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let cfg = Cfg.of_func f in
+      let order = Cfg.reverse_postorder cfg in
+      let placed = List.map (fun i -> Cfg.block cfg i) order in
+      let rest =
+        List.filter (fun b -> not (List.memq b placed)) f.Func.blocks
+      in
+      let new_blocks = placed @ rest in
+      let labels bs = List.map (fun (b : Block.t) -> b.Block.label) bs in
+      if labels new_blocks <> labels f.Func.blocks then begin
+        f.Func.blocks <- new_blocks;
+        changed := true
+      end)
+    m.Modul.funcs;
+  !changed
+
+(* hot/cold splitting: blocks outside every loop sink to the end of the
+   layout; loop bodies stay contiguous *)
+let run_hot_cold (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let cfg = Cfg.of_func f in
+      let loops = Loops.find cfg in
+      let in_loop i = List.exists (fun l -> Intset.mem i l.Loops.body) loops in
+      if loops <> [] then begin
+        let hot, cold =
+          List.partition
+            (fun (b : Block.t) ->
+              match Cfg.index_of cfg b.Block.label with
+              | Some i -> i = 0 || in_loop i
+              | None -> true)
+            f.Func.blocks
+        in
+        if cold <> [] then begin
+          f.Func.blocks <- hot @ cold;
+          changed := true
+        end
+      end)
+    m.Modul.funcs;
+  !changed
+
+(* split critical edges (normalization; adds blocks and jumps) *)
+let run_break_crit_edges (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let cfg = Cfg.of_func f in
+      for bi = 0 to Cfg.size cfg - 1 do
+        let b = Cfg.block cfg bi in
+        match b.Block.term with
+        | Instr.Cbr { cond; if_true; if_false } ->
+          let split target =
+            let ti = Cfg.index_of_exn cfg target in
+            if List.length cfg.Cfg.pred.(ti) > 1 then begin
+              let l = Func.fresh_label f "critedge" in
+              Func.add_block f (Block.create ~term:(Instr.Br target) l);
+              changed := true;
+              l
+            end
+            else target
+          in
+          let t' = split if_true in
+          let f' = split if_false in
+          if not (String.equal t' if_true && String.equal f' if_false) then
+            b.Block.term <- Instr.Cbr { cond; if_true = t'; if_false = f' }
+        | _ -> ()
+      done)
+    m.Modul.funcs;
+  !changed
+
+let () =
+  Pass.register "simplifycfg"
+    "merge blocks, prune dead edges, and if-convert small diamonds"
+    run_simplifycfg;
+  Pass.register "jump-threading"
+    "duplicate small branchy blocks into predecessors with known conditions"
+    run_jump_threading;
+  Pass.register "tail-dup" "duplicate small tails into their predecessors"
+    run_tail_dup;
+  Pass.register "block-placement" "lay out blocks in reverse postorder"
+    run_block_placement;
+  Pass.register "hot-cold-splitting" "sink non-loop blocks to the layout tail"
+    run_hot_cold;
+  Pass.register "break-crit-edges" "split critical CFG edges" run_break_crit_edges

@@ -1,0 +1,75 @@
+(** Constant folding, constant branch folding, and copy propagation. *)
+
+open Zkopt_ir
+open Zkopt_analysis
+
+let fold_instr (i : Instr.t) : Instr.t option =
+  match i with
+  | Instr.Bin { dst; ty; op; a = Value.Imm a; b = Value.Imm b } ->
+    Some (Instr.Mov { dst; ty; src = Value.Imm (Eval.binop ty op a b) })
+  | Cmp { dst; ty; op; a = Value.Imm a; b = Value.Imm b } ->
+    Some (Instr.Mov { dst; ty = Ty.I32; src = Value.Imm (Eval.cmp ty op a b) })
+  | Select { dst; ty; cond = Value.Imm c; if_true; if_false } ->
+    Some (Instr.Mov { dst; ty; src = (if Eval.to_bool c then if_true else if_false) })
+  | Cast { dst; op; src = Value.Imm s } ->
+    let ty = match op with Instr.Trunc -> Ty.I32 | _ -> Ty.I64 in
+    Some (Instr.Mov { dst; ty; src = Value.Imm (Eval.cast op s) })
+  | Addr { dst; base = Value.Imm b; index = Value.Imm i; scale; offset } ->
+    Some
+      (Instr.Mov
+         { dst; ty = Ty.Ptr;
+           src = Value.Imm (Eval.addr ~base:b ~index:i ~scale ~offset) })
+  | _ -> None
+
+let run_constfold (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      Func.iter_blocks f (fun b ->
+          (* fold instructions *)
+          b.Block.instrs <-
+            List.map
+              (fun i ->
+                match fold_instr i with
+                | Some i' ->
+                  changed := true;
+                  i'
+                | None -> i)
+              b.Block.instrs;
+          (* fold constant conditional branches *)
+          match b.Block.term with
+          | Instr.Cbr { cond = Value.Imm c; if_true; if_false } ->
+            b.Block.term <- Instr.Br (if Eval.to_bool c then if_true else if_false);
+            changed := true
+          | Cbr { if_true; if_false; _ } when String.equal if_true if_false ->
+            b.Block.term <- Instr.Br if_true;
+            changed := true
+          | _ -> ());
+      if Util.remove_unreachable_blocks f then changed := true)
+    m.Modul.funcs;
+  !changed
+
+(* Copy propagation: a single-def [Mov dst src] with stable [src] lets
+   every use of [dst] read [src] directly. *)
+let run_copyprop (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let defs = Defs.compute f in
+      Func.iter_instrs f (fun _ i ->
+          match i with
+          | Instr.Mov { dst; src; ty = _ }
+            when Defs.is_single_def defs dst && Defs.is_stable defs src
+                 && src <> Value.Reg dst ->
+            Util.replace_uses f ~from:dst ~to_:src;
+            changed := true
+          | _ -> ()))
+    m.Modul.funcs;
+  !changed
+
+let () =
+  Pass.register "constprop"
+    "fold constant operations and constant conditional branches"
+    run_constfold;
+  Pass.register "copyprop" "propagate single-definition register copies"
+    run_copyprop

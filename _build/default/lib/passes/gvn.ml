@@ -1,0 +1,132 @@
+(** Value numbering: block-local common-subexpression elimination
+    (early-cse, including store-to-load awareness) and dominator-scoped
+    global value numbering (gvn / newgvn).
+
+    Expressions participate only when every operand is stable (constant,
+    parameter, or single-definition register): stable operands have one
+    value for the whole execution, so availability reduces to dominance. *)
+
+open Zkopt_ir
+open Zkopt_analysis
+
+type expr_key =
+  | KBin of Ty.t * Instr.binop * Value.t * Value.t
+  | KCmp of Ty.t * Instr.cmpop * Value.t * Value.t
+  | KSelect of Ty.t * Value.t * Value.t * Value.t
+  | KCast of Instr.castop * Value.t
+  | KAddr of Value.t * Value.t * int * int
+
+let key_of (defs : Defs.t) (i : Instr.t) : (expr_key * Value.reg * Ty.t) option =
+  let stable = Defs.is_stable defs in
+  match i with
+  | Instr.Bin { dst; ty; op; a; b } when stable a && stable b ->
+    (* normalize commutative operand order *)
+    let a, b =
+      if Instr.is_commutative op && compare a b > 0 then (b, a) else (a, b)
+    in
+    Some (KBin (ty, op, a, b), dst, ty)
+  | Cmp { dst; ty; op; a; b } when stable a && stable b ->
+    Some (KCmp (ty, op, a, b), dst, Ty.I32)
+  | Select { dst; ty; cond; if_true; if_false }
+    when stable cond && stable if_true && stable if_false ->
+    Some (KSelect (ty, cond, if_true, if_false), dst, ty)
+  | Cast { dst; op; src } when stable src ->
+    let ty = match op with Instr.Trunc -> Ty.I32 | _ -> Ty.I64 in
+    Some (KCast (op, src), dst, ty)
+  | Addr { dst; base; index; scale; offset } when stable base && stable index ->
+    Some (KAddr (base, index, scale, offset), dst, Ty.Ptr)
+  | _ -> None
+
+(* block-local CSE with store-to-load forwarding and redundant-load
+   elimination *)
+let run_early_cse (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let defs = Defs.compute f in
+      Func.iter_blocks f (fun b ->
+          let exprs : (expr_key, Value.reg) Hashtbl.t = Hashtbl.create 16 in
+          let avail_loads : (Value.t * Ty.t, Value.reg) Hashtbl.t =
+            Hashtbl.create 8
+          in
+          b.Block.instrs <-
+            List.map
+              (fun i ->
+                match key_of defs i with
+                | Some (key, dst, ty) -> begin
+                  match Hashtbl.find_opt exprs key with
+                  | Some prev when Defs.is_single_def defs prev ->
+                    changed := true;
+                    Instr.Mov { dst; ty; src = Value.Reg prev }
+                  | _ ->
+                    if Defs.is_single_def defs dst then
+                      Hashtbl.replace exprs key dst;
+                    i
+                end
+                | None -> begin
+                  match i with
+                  | Instr.Load { dst; ty; addr } when Defs.is_stable defs addr
+                    -> begin
+                    match Hashtbl.find_opt avail_loads (addr, ty) with
+                    | Some prev when Defs.is_single_def defs prev ->
+                      changed := true;
+                      Instr.Mov { dst; ty; src = Value.Reg prev }
+                    | _ ->
+                      if Defs.is_single_def defs dst then
+                        Hashtbl.replace avail_loads (addr, ty) dst;
+                      i
+                  end
+                  | Instr.Store _ | Call _ | Precompile _ ->
+                    Hashtbl.reset avail_loads;
+                    i
+                  | i -> i
+                end)
+              b.Block.instrs))
+    m.Modul.funcs;
+  !changed
+
+(* dominator-scoped GVN over pure expressions *)
+let run_gvn (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let defs = Defs.compute f in
+      let cfg = Cfg.of_func f in
+      let dom = Dom.compute cfg in
+      let kids = Dom.children dom in
+      let table : (expr_key, Value.reg) Hashtbl.t = Hashtbl.create 32 in
+      let rec walk bi =
+        let b = Cfg.block cfg bi in
+        let added = ref [] in
+        b.Block.instrs <-
+          List.map
+            (fun i ->
+              match key_of defs i with
+              | Some (key, dst, ty) -> begin
+                match Hashtbl.find_opt table key with
+                | Some prev when Defs.is_single_def defs prev ->
+                  changed := true;
+                  Instr.Mov { dst; ty; src = Value.Reg prev }
+                | _ ->
+                  if Defs.is_single_def defs dst && not (Hashtbl.mem table key)
+                  then begin
+                    Hashtbl.replace table key dst;
+                    added := key :: !added
+                  end;
+                  i
+              end
+              | None -> i)
+            b.Block.instrs;
+        List.iter walk kids.(bi);
+        List.iter (Hashtbl.remove table) !added
+      in
+      if Cfg.size cfg > 0 then walk 0)
+    m.Modul.funcs;
+  !changed
+
+let () =
+  Pass.register "early-cse" "block-local CSE with redundant-load elimination"
+    run_early_cse;
+  Pass.register "gvn" "dominator-scoped global value numbering" run_gvn;
+  Pass.register "newgvn" "global value numbering (alternative pipeline entry)"
+    run_gvn

@@ -1,0 +1,140 @@
+(** Function inlining.
+
+    The cost heuristic mirrors LLVM's shape: inline when
+    [callee_size - call_penalty <= threshold], with always-inline and
+    single-call-site bonuses.  The zkVM-aware configuration raises the
+    threshold to the paper's autotuned 4328 (Insight 2): on zkVMs the
+    usual icache-pressure argument against inlining does not exist, while
+    removed call/return/argument traffic directly shrinks the proof —
+    except when inlining drives 64-bit register pressure into spills
+    (Fig. 10), which is a backend effect this pass cannot see, exactly as
+    in the paper. *)
+
+open Zkopt_ir
+open Zkopt_analysis
+
+let partial_inline_max = 12
+(* "partial-inliner" entry: only bodies this small *)
+
+type mode = Always_only | Threshold | Partial
+
+let should_inline (config : Pass.config) (mode : mode) (cg : Callgraph.t)
+    (callee : Func.t) =
+  let size = Util.size_of_func callee in
+  let attrs = callee.Func.attrs in
+  if attrs.Func.no_inline then false
+  else if Callgraph.is_recursive cg callee.Func.name then false
+  else
+    match mode with
+    | Always_only -> attrs.Func.always_inline
+    | Partial -> size <= partial_inline_max
+    | Threshold ->
+      attrs.Func.always_inline
+      ||
+      let single_site = Callgraph.call_site_count cg callee.Func.name = 1 in
+      let bonus = if single_site then 3 * config.Pass.inline_call_penalty else 0 in
+      size - config.Pass.inline_call_penalty - bonus <= config.Pass.inline_threshold
+
+(** Inline one call site: split the block at the call, splice a renamed
+    copy of the callee between the halves. *)
+let inline_site (caller : Func.t) (block : Block.t) ~(call_idx : int)
+    ~(callee : Func.t) =
+  let dst, args =
+    match List.nth block.Block.instrs call_idx with
+    | Instr.Call { dst; args; _ } -> (dst, args)
+    | _ -> invalid_arg "inline_site: not a call"
+  in
+  (* tail = code after the call *)
+  let tail = Util.split_block caller block ~idx:(call_idx + 1) in
+  (* drop the call itself (last instruction of the head block now) *)
+  block.Block.instrs <-
+    List.filteri
+      (fun i _ -> i <> List.length block.Block.instrs - 1)
+      block.Block.instrs;
+  (* clone callee body; parameters are renamed along with local defs *)
+  let label_map, body, reg_map =
+    Util.clone_blocks caller callee.Func.blocks ~label_suffix:".inl"
+      ~also_rename:(List.map fst callee.Func.params)
+  in
+  let entry_label =
+    Hashtbl.find label_map (Func.entry callee).Block.label
+  in
+  (* parameter binding: mov cloned-param := arg *)
+  let param_movs =
+    List.map2
+      (fun (p, ty) arg ->
+        let p' =
+          match Hashtbl.find_opt reg_map p with
+          | Some p' -> p'
+          | None -> (* parameter unused in body *) Func.fresh_reg caller
+        in
+        Instr.Mov { dst = p'; ty; src = arg })
+      callee.Func.params args
+  in
+  block.Block.instrs <- block.Block.instrs @ param_movs;
+  block.Block.term <- Instr.Br entry_label;
+  (* rewrite cloned returns into (result mov +) jump to tail *)
+  List.iter
+    (fun (b : Block.t) ->
+      match b.Block.term with
+      | Instr.Ret v ->
+        (match (dst, v) with
+        | Some d, Some value ->
+          let ty = Option.value ~default:Ty.I32 callee.Func.ret in
+          b.Block.instrs <- b.Block.instrs @ [ Instr.Mov { dst = d; ty; src = value } ]
+        | _ -> ());
+        b.Block.term <- Instr.Br tail.Block.label
+      | _ -> ())
+    body;
+  (* splice the body between head and tail in layout order *)
+  let rec ins = function
+    | [] -> body
+    | (b : Block.t) :: tl when b == block -> b :: (body @ tl)
+    | b :: tl -> b :: ins tl
+  in
+  caller.Func.blocks <- ins caller.Func.blocks
+
+let run_mode (mode : mode) (config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  let budget = ref 1000 in
+  let progress = ref true in
+  while !progress && !budget > 0 do
+    progress := false;
+    let cg = Callgraph.compute m in
+    (try
+       List.iter
+         (fun (caller : Func.t) ->
+           List.iter
+             (fun (b : Block.t) ->
+               List.iteri
+                 (fun idx i ->
+                   match i with
+                   | Instr.Call { callee; _ } -> begin
+                     match Modul.find_func m callee with
+                     | Some callee_f
+                       when (not (String.equal callee_f.Func.name caller.Func.name))
+                            && should_inline config mode cg callee_f ->
+                       inline_site caller b ~call_idx:idx ~callee:callee_f;
+                       decr budget;
+                       changed := true;
+                       progress := true;
+                       raise Exit
+                     | _ -> ()
+                   end
+                   | _ -> ())
+                 b.Block.instrs)
+             caller.Func.blocks)
+         m.Modul.funcs
+     with Exit -> ())
+  done;
+  !changed
+
+let run_inline config m = run_mode Threshold config m
+let run_always_inline config m = run_mode Always_only config m
+let run_partial config m = run_mode Partial config m
+
+let () =
+  Pass.register "inline" "threshold-driven function inlining" run_inline;
+  Pass.register "always-inline" "inline only always_inline functions"
+    run_always_inline;
+  Pass.register "partial-inliner" "inline very small functions only" run_partial

@@ -1,0 +1,281 @@
+(** Memory-oriented passes: promotion of stack slots to registers
+    (mem2reg), the inverse demotion (reg2mem), scalar replacement of
+    aggregates (sroa), and memcpy forwarding.
+
+    In this non-SSA IR, promotion needs no phi construction: a
+    non-escaping scalar alloca simply becomes a multiply-assigned
+    register, which is exactly what the rest of the pipeline works on. *)
+
+open Zkopt_ir
+open Zkopt_analysis
+
+(* An alloca's address "escapes" if it is used by anything other than a
+   direct Load/Store address operand. *)
+let alloca_escapes (f : Func.t) (r : Value.reg) =
+  let escapes = ref false in
+  let is_r v = match v with Value.Reg x -> x = r | _ -> false in
+  Func.iter_blocks f (fun b ->
+      List.iter
+        (fun i ->
+          match i with
+          | Instr.Load { addr; _ } when is_r addr -> ()
+          | Instr.Store { addr; src; _ } when is_r addr ->
+            if is_r src then escapes := true
+          | i -> if List.mem r (Instr.uses i) then escapes := true)
+        b.Block.instrs;
+      if List.mem r (Instr.term_uses b.Block.term) then escapes := true)
+
+  ;
+  !escapes
+
+(* Loads/stores through the alloca must all use one access type. *)
+let alloca_access_ty (f : Func.t) (r : Value.reg) : Ty.t option =
+  let ty = ref None in
+  let consistent = ref true in
+  let is_r v = match v with Value.Reg x -> x = r | _ -> false in
+  Func.iter_instrs f (fun _ i ->
+      let note t =
+        match !ty with
+        | None -> ty := Some t
+        | Some t' -> if not (Ty.equal t t') then consistent := false
+      in
+      match i with
+      | Instr.Load { addr; ty = t; _ } when is_r addr -> note t
+      | Instr.Store { addr; ty = t; _ } when is_r addr -> note t
+      | _ -> ());
+  if !consistent then !ty else None
+
+let run_mem2reg (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      (* candidates: scalar-sized, non-escaping, consistently-typed *)
+      let candidates = ref [] in
+      Func.iter_instrs f (fun _ i ->
+          match i with
+          | Instr.Alloca { dst; size } when size <= 8 ->
+            if not (alloca_escapes f dst) then begin
+              match alloca_access_ty f dst with
+              | Some ty when Ty.size_bytes ty <= size ->
+                candidates := (dst, ty) :: !candidates
+              | _ -> ()
+            end
+          | _ -> ());
+      List.iter
+        (fun (slot, ty) ->
+          changed := true;
+          let cell = Func.fresh_reg f in
+          let is_slot v = match v with Value.Reg x -> x = slot | _ -> false in
+          Func.iter_blocks f (fun b ->
+              b.Block.instrs <-
+                List.filter_map
+                  (fun i ->
+                    match i with
+                    | Instr.Alloca { dst; _ } when dst = slot ->
+                      (* initialize the cell: memory starts zeroed *)
+                      Some (Instr.Mov { dst = cell; ty; src = Value.Imm 0L })
+                    | Load { dst; addr; _ } when is_slot addr ->
+                      Some (Instr.Mov { dst; ty; src = Value.Reg cell })
+                    | Store { addr; src; _ } when is_slot addr ->
+                      Some (Instr.Mov { dst = cell; ty; src })
+                    | i -> Some i)
+                  b.Block.instrs))
+        !candidates)
+    m.Modul.funcs;
+  !changed
+
+(* reg2mem: demote registers that are live across block boundaries to
+   stack slots — the LLVM pass used to simplify CFG transforms, which the
+   paper finds can help x86 but hurts RISC Zero (Fig. 8). *)
+let run_reg2mem (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let cfg = Cfg.of_func f in
+      let live = Liveness.compute cfg in
+      let cross = Liveness.cross_block_regs live in
+      let params = List.map fst f.Func.params in
+      let reg_tys = Modul.reg_types m f in
+      let targets =
+        Intset.elements cross
+        |> List.filter (fun r -> not (List.mem r params))
+        |> List.filter (fun r -> Hashtbl.mem reg_tys r)
+      in
+      if targets <> [] then begin
+        changed := true;
+        let entry = Func.entry f in
+        List.iter
+          (fun r ->
+            let ty = Hashtbl.find reg_tys r in
+            let slot = Func.fresh_reg f in
+            (* allocate the slot at function entry *)
+            entry.Block.instrs <-
+              Instr.Alloca { dst = slot; size = Ty.size_bytes ty }
+              :: entry.Block.instrs;
+            (* defs write through; uses read through *)
+            Func.iter_blocks f (fun b ->
+                b.Block.instrs <-
+                  List.concat_map
+                    (fun i ->
+                        let loads = ref [] in
+                        let subst v =
+                          match v with
+                          | Value.Reg x when x = r ->
+                            let t = Func.fresh_reg f in
+                            loads :=
+                              Instr.Load { dst = t; ty; addr = Value.Reg slot }
+                              :: !loads;
+                            Value.Reg t
+                          | v -> v
+                        in
+                        let i' = Instr.map_values subst i in
+                        let stores =
+                          if Instr.def i' = Some r then
+                            [ Instr.Store
+                                { ty; addr = Value.Reg slot; src = Value.Reg r } ]
+                          else []
+                        in
+                        List.rev !loads @ [ i' ] @ stores)
+                    b.Block.instrs;
+                let loads = ref [] in
+                let subst v =
+                  match v with
+                  | Value.Reg x when x = r ->
+                    let t = Func.fresh_reg f in
+                    loads := Instr.Load { dst = t; ty; addr = Value.Reg slot } :: !loads;
+                    Value.Reg t
+                  | v -> v
+                in
+                let term' = Instr.map_term_values subst b.Block.term in
+                if !loads <> [] then begin
+                  b.Block.instrs <- b.Block.instrs @ List.rev !loads;
+                  b.Block.term <- term'
+                end))
+          targets
+      end)
+    m.Modul.funcs;
+  !changed
+
+(* sroa: split a multi-word alloca accessed only at constant offsets into
+   per-word allocas, unlocking mem2reg. *)
+let run_sroa (config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let defs = Defs.compute f in
+      (* find allocas whose every use is an Addr with constant index and
+         offset, feeding only aligned non-escaping loads/stores *)
+      let candidates = ref [] in
+      Func.iter_instrs f (fun _ i ->
+          match i with
+          | Instr.Alloca { dst; size } when size > 8 && size <= 64 ->
+            let ok = ref true in
+            let offsets = ref [] in
+            Func.iter_instrs f (fun _ j ->
+                match j with
+                | Instr.Addr { dst = addr_dst; base = Value.Reg b;
+                               index = Value.Imm idx; scale; offset }
+                  when b = dst ->
+                  let off = (Int64.to_int idx * scale) + offset in
+                  if off mod 4 <> 0 || off < 0 || off + 4 > size
+                     || not (Defs.is_single_def defs addr_dst)
+                  then ok := false
+                  else begin
+                    (* the derived address must itself not escape *)
+                    if alloca_escapes f addr_dst then ok := false;
+                    (match alloca_access_ty f addr_dst with
+                    | Some Ty.I32 | Some Ty.Ptr -> ()
+                    | _ -> ok := false);
+                    offsets := (addr_dst, off) :: !offsets
+                  end
+                | j when List.mem dst (Instr.uses j) ->
+                  (* anything else — variable-index addrs, direct loads,
+                     stores of the pointer, calls — blocks splitting *)
+                  ok := false
+                | _ -> ())
+            ;
+            if !ok && !offsets <> [] then candidates := (dst, !offsets) :: !candidates
+          | _ -> ());
+      List.iter
+        (fun (slot, derived) ->
+          changed := true;
+          (* one fresh scalar alloca per distinct offset *)
+          let by_off = Hashtbl.create 8 in
+          List.iter
+            (fun (_, off) ->
+              if not (Hashtbl.mem by_off off) then
+                Hashtbl.replace by_off off (Func.fresh_reg f))
+            derived;
+          Func.iter_blocks f (fun b ->
+              b.Block.instrs <-
+                List.concat_map
+                  (fun i ->
+                    match i with
+                    | Instr.Alloca { dst; _ } when dst = slot ->
+                      Hashtbl.fold
+                        (fun _off r acc -> Instr.Alloca { dst = r; size = 4 } :: acc)
+                        by_off []
+                    | Instr.Addr { dst = d; base = Value.Reg bb; _ }
+                      when bb = slot ->
+                      let off = List.assoc d derived in
+                      [ Instr.Mov
+                          { dst = d; ty = Ty.Ptr;
+                            src = Value.Reg (Hashtbl.find by_off off) } ]
+                    | i -> [ i ])
+                  b.Block.instrs))
+        !candidates;
+      (* promote the freshly split scalars *)
+      if !changed then ignore (run_mem2reg config m))
+    m.Modul.funcs;
+  !changed
+
+(* memcpyopt: forward a word-copy loop... our IR sees memcpy as the
+   runtime function; forward calls of memcpy_w from a just-written source
+   are rare, so this pass does store-to-load forwarding within a block
+   instead (the practical effect LLVM's memcpyopt has on our kernels). *)
+let run_memcpyopt (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let defs = Defs.compute f in
+      Func.iter_blocks f (fun b ->
+          (* forward: store ty v, p ... load ty d, p  =>  d := v *)
+          let known : (Value.t * Ty.t * Value.t) list ref = ref [] in
+          b.Block.instrs <-
+            List.map
+              (fun i ->
+                match i with
+                | Instr.Store { ty; addr; src }
+                  when Defs.is_stable defs addr && Defs.is_stable defs src ->
+                  known :=
+                    (addr, ty, src)
+                    :: List.filter (fun (a, _, _) -> not (Value.equal a addr)) !known;
+                  i
+                | Instr.Store _ | Call _ | Precompile _ ->
+                  known := [];
+                  i
+                | Instr.Load { dst; ty; addr } when Defs.is_stable defs addr -> begin
+                  match
+                    List.find_opt
+                      (fun (a, t, _) -> Value.equal a addr && Ty.equal t ty)
+                      !known
+                  with
+                  | Some (_, _, v) ->
+                    changed := true;
+                    Instr.Mov { dst; ty; src = v }
+                  | None -> i
+                end
+                | i -> i)
+              b.Block.instrs))
+    m.Modul.funcs;
+  !changed
+
+let () =
+  Pass.register "mem2reg" "promote non-escaping scalar allocas to registers"
+    run_mem2reg;
+  Pass.register "reg2mem" "demote cross-block registers to stack slots"
+    run_reg2mem;
+  Pass.register "sroa" "split constant-indexed aggregates into scalars"
+    run_sroa;
+  Pass.register "memcpyopt" "forward stored values to subsequent loads"
+    run_memcpyopt

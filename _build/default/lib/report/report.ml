@@ -1,0 +1,46 @@
+(** ASCII table/series rendering for the bench harness: every table and
+    figure of the paper is reproduced as one of these blocks, with the
+    paper's reported values printed alongside for comparison. *)
+
+let hr width = String.make width '-'
+
+let section title =
+  let line = hr (max 60 (String.length title + 4)) in
+  Printf.printf "\n%s\n= %s\n%s\n" line title line
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+let paper fmt =
+  Printf.ksprintf (fun s -> Printf.printf "  [paper] %s\n" s) fmt
+
+(** Render rows with left-aligned first column and right-aligned rest. *)
+let table ~headers rows =
+  let cols = List.length headers in
+  let widths = Array.make cols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure headers;
+  List.iter measure rows;
+  let render row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           if i = 0 then Printf.sprintf "%-*s" widths.(i) cell
+           else Printf.sprintf "%*s" widths.(i) cell)
+         row)
+  in
+  Printf.printf "  %s\n" (render headers);
+  Printf.printf "  %s\n" (hr (String.length (render headers)));
+  List.iter (fun row -> Printf.printf "  %s\n" (render row)) rows
+
+let pct v = Printf.sprintf "%+.1f%%" v
+let f2 v = Printf.sprintf "%.2f" v
+let f1 v = Printf.sprintf "%.1f" v
+let int_s v = string_of_int v
+
+(** A simple horizontal bar for figure-like output. *)
+let bar ?(scale = 1.0) v =
+  let n = int_of_float (Float.abs v *. scale) in
+  let n = min n 40 in
+  if v >= 0.0 then String.make n '+' else String.make n '-'

@@ -1,0 +1,1 @@
+lib/riscv/codegen.ml: Asm Emulator Func Int32 Isa Isel Layout List Modul Regalloc String Zkopt_ir

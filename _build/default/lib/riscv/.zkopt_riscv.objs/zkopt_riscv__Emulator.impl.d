@@ -1,0 +1,1 @@
+lib/riscv/emulator.ml: Array Asm Eval Extern Hashtbl Int32 Int64 Isa Layout List Memory Modul Printf String Zkopt_ir

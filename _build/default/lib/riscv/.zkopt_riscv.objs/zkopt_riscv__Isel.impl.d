@@ -1,0 +1,1 @@
+lib/riscv/isel.ml: Asm Block Emulator Func Hashtbl Instr Int32 Int64 Isa List Modul Option String Ty Value Zkopt_analysis Zkopt_ir

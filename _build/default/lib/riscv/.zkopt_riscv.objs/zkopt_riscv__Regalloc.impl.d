@@ -1,0 +1,1 @@
+lib/riscv/regalloc.ml: Array Asm Hashtbl Isa Isel List Printf Zkopt_analysis

@@ -1,0 +1,1 @@
+lib/runtime/runtime.ml: Builder Extern Func Instr List Modul Ty Value Zkopt_ir

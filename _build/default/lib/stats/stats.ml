@@ -1,0 +1,98 @@
+(** Descriptive statistics and correlation, as used by the evaluation:
+    mean/std for Fig. 3's bands, Pearson/Spearman for the cycle-to-time
+    correlation claims (§4.1), and the gain/loss bucketing of Table 1 and
+    Fig. 4. *)
+
+let mean xs =
+  match xs with
+  | [] -> 0.0
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int (List.length xs - 1)
+    in
+    sqrt var
+
+let minimum xs = List.fold_left min infinity xs
+let maximum xs = List.fold_left max neg_infinity xs
+
+let median xs =
+  match List.sort compare xs with
+  | [] -> 0.0
+  | sorted ->
+    let n = List.length sorted in
+    if n mod 2 = 1 then List.nth sorted (n / 2)
+    else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+
+let pearson xs ys =
+  let n = List.length xs in
+  if n < 2 || n <> List.length ys then nan
+  else begin
+    let mx = mean xs and my = mean ys in
+    let num =
+      List.fold_left2 (fun acc x y -> acc +. ((x -. mx) *. (y -. my))) 0.0 xs ys
+    in
+    let dx = sqrt (List.fold_left (fun a x -> a +. ((x -. mx) ** 2.)) 0.0 xs) in
+    let dy = sqrt (List.fold_left (fun a y -> a +. ((y -. my) ** 2.)) 0.0 ys) in
+    if dx = 0.0 || dy = 0.0 then nan else num /. (dx *. dy)
+  end
+
+(* average ranks, with ties sharing the mean rank *)
+let ranks xs =
+  let indexed = List.mapi (fun i x -> (x, i)) xs in
+  let sorted = List.sort compare indexed in
+  let n = List.length xs in
+  let rank_arr = Array.make n 0.0 in
+  let arr = Array.of_list sorted in
+  let i = ref 0 in
+  while !i < n do
+    let j = ref !i in
+    while !j < n - 1 && fst arr.(!j + 1) = fst arr.(!i) do
+      incr j
+    done;
+    let avg_rank = float_of_int (!i + !j) /. 2.0 +. 1.0 in
+    for k = !i to !j do
+      rank_arr.(snd arr.(k)) <- avg_rank
+    done;
+    i := !j + 1
+  done;
+  Array.to_list rank_arr
+
+let spearman xs ys = pearson (ranks xs) (ranks ys)
+
+(** Percentage improvement of [v] over [base]: positive = faster/smaller.
+    This is the sign convention of the paper's Figs. 3/5/7. *)
+let improvement_pct ~base v =
+  if base = 0.0 then 0.0 else (base -. v) /. base *. 100.0
+
+type bucket = Severe_loss | Moderate_loss | Neutral | Moderate_gain | Severe_gain
+
+(** Fig. 4 buckets over improvement percentages. *)
+let bucket_of pct =
+  if pct <= -5.0 then Severe_loss
+  else if pct <= -2.0 then Moderate_loss
+  else if pct < 2.0 then Neutral
+  else if pct < 5.0 then Moderate_gain
+  else Severe_gain
+
+let count_buckets pcts =
+  List.fold_left
+    (fun (sl, ml, n, mg, sg) p ->
+      match bucket_of p with
+      | Severe_loss -> (sl + 1, ml, n, mg, sg)
+      | Moderate_loss -> (sl, ml + 1, n, mg, sg)
+      | Neutral -> (sl, ml, n + 1, mg, sg)
+      | Moderate_gain -> (sl, ml, n, mg + 1, sg)
+      | Severe_gain -> (sl, ml, n, mg, sg + 1))
+    (0, 0, 0, 0, 0) pcts
+
+(** Table 1 counts: instances with >2% gain and <-2% loss. *)
+let gain_loss_counts pcts =
+  ( List.length (List.filter (fun p -> p > 2.0) pcts),
+    List.length (List.filter (fun p -> p < -2.0) pcts) )

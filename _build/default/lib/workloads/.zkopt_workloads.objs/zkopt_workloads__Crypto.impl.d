@@ -1,0 +1,1 @@
+lib/workloads/crypto.ml: Array Builder Extern Int32 Kern Value Workload Zkopt_ir

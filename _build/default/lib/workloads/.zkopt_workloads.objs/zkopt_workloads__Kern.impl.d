@@ -1,0 +1,1 @@
+lib/workloads/kern.ml: Builder List Modul Ty Value Zkopt_ir

@@ -1,0 +1,1 @@
+lib/workloads/misc.ml: Array Builder Extern Instr Int32 Kern List Modul Value Workload Zkopt_ir

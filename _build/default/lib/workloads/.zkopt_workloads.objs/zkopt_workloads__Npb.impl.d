@@ -1,0 +1,1 @@
+lib/workloads/npb.ml: Builder Instr Kern Value Workload Zkopt_ir

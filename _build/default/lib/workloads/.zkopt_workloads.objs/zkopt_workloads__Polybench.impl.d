@@ -1,0 +1,1 @@
+lib/workloads/polybench.ml: Builder Instr Kern List Value Workload Zkopt_ir

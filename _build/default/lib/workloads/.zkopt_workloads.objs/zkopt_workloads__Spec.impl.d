@@ -1,0 +1,1 @@
+lib/workloads/spec.ml: Builder Instr Kern List Modul Value Workload Zkopt_ir

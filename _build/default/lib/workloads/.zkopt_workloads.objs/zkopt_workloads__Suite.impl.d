@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Crypto List Misc Npb Polybench Printf Spec Workload

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Hashtbl List Modul String Zkopt_ir

@@ -1,0 +1,99 @@
+(** Shared kernel-construction helpers for the benchmark programs.
+
+    Numerical kernels use Q16.16 fixed point in place of the originals'
+    f64 — zkVMs have no native floating point anyway (Appendix A), and
+    the loop/memory structure is what the study measures.  All input data
+    is generated in-guest with an LCG so programs are self-contained and
+    deterministic. *)
+
+open Zkopt_ir
+module B = Builder
+
+let i32 = Ty.I32
+let i64 = Ty.I64
+
+(* Q16.16 multiply/divide are module-level functions (as in the Rust
+   ports, where the fixed-point operators are ordinary calls): the
+   unoptimized baseline is call-heavy and the inliner has real material,
+   matching the paper's RQ1 inline numbers. *)
+let define_fx_helpers m =
+  if Modul.find_func m "fxmul" = None then begin
+    ignore
+      (B.define m "fxmul" ~params:[ Ty.I32; Ty.I32 ] ~ret:Ty.I32 (fun b ps ->
+           let wx = B.sext b (List.nth ps 0) in
+           let wy = B.sext b (List.nth ps 1) in
+           let prod = B.mul ~ty:Ty.I64 b wx wy in
+           B.ret b (Some (B.trunc b (B.ashr ~ty:Ty.I64 b prod (B.imm 16))))));
+    ignore
+      (B.define m "fxdiv" ~params:[ Ty.I32; Ty.I32 ] ~ret:Ty.I32 (fun b ps ->
+           let wx = B.shl ~ty:Ty.I64 b (B.sext b (List.nth ps 0)) (B.imm 16) in
+           let wy = B.sext b (List.nth ps 1) in
+           B.ret b (Some (B.trunc b (B.sdiv ~ty:Ty.I64 b wx wy)))))
+  end
+
+let fxmul b x y = B.callv b "fxmul" [ x; y ]
+let fxdiv b x y = B.callv b "fxdiv" [ x; y ]
+
+let fx_of_int n = B.imm (n * 65536)
+
+(* element address within a flat array of words *)
+let at b arr idx = B.addr b arr ~index:idx
+
+(* 2-D indexing over row-major [cols]-wide arrays *)
+let at2 b arr ~cols i j =
+  let row = B.mul b i (B.imm cols) in
+  B.addr b arr ~index:(B.add b row j)
+
+let ld b arr idx = B.load b (at b arr idx)
+let st b arr idx v = B.store b ~addr:(at b arr idx) v
+let ld2 b arr ~cols i j = B.load b (at2 b arr ~cols i j)
+let st2 b arr ~cols i j v = B.store b ~addr:(at2 b arr ~cols i j) v
+
+(* Fill [arr] (n words) with LCG values masked to modest fixed-point
+   magnitudes so Q16.16 products stay well-behaved. *)
+let fill_lcg b arr ~n ~seed =
+  let state = B.var b i32 (B.imm seed) in
+  B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+      let next =
+        B.add b
+          (B.mul b (Value.Reg state) (B.imm 1103515245))
+          (B.imm 12345)
+      in
+      B.set b i32 state next;
+      (* keep values in [0, 4) as Q16.16 *)
+      let v = B.and_ b (Value.Reg state) (B.imm 0x0003_FFFF) in
+      st b arr i v)
+
+(* xor-multiply fold of an array into a checksum value *)
+let fold_array b arr ~n =
+  let acc = B.var b i32 (B.imm 0x811C9DC5) in
+  B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+      let v = ld b arr i in
+      let mixed = B.mul b (Value.Reg acc) (B.imm 16777619) in
+      B.set b i32 acc (B.xor b mixed v));
+  Value.Reg acc
+
+let combine b a c = B.xor b a (B.mul b c (B.imm 0x9E3779B1))
+
+(* Standard program skeleton: allocate globals, run [body], return the
+   fold of [checksum_arrays]. *)
+let program name ~globals ~body =
+  let m = Modul.create () in
+  List.iter (fun (g, words) -> ignore (B.global_zero m g (4 * words))) globals;
+  define_fx_helpers m;
+  ignore
+    (B.define m "main" ~params:[] ~ret:i32 (fun b _ ->
+         let result = body m b in
+         B.ret b (Some result)));
+  ignore name;
+  m
+
+(* nested 2-D loop helper *)
+let for2 b ~ni ~nj body =
+  B.for_ b ~from:(B.imm 0) ~bound:(B.imm ni) (fun i ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm nj) (fun j -> body i j))
+
+let for3 b ~ni ~nj ~nk body =
+  B.for_ b ~from:(B.imm 0) ~bound:(B.imm ni) (fun i ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm nj) (fun j ->
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm nk) (fun k -> body i j k)))

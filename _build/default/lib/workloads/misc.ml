@@ -1,0 +1,253 @@
+(** The remaining programs: rsp (EVM-block-flavored precompile-heavy
+    workload), zkvm-mnist (fixed-point NN training on 7x7 digits),
+    regex-match (table-driven DFA), merkle (inclusion proof), and the
+    three small programs factorial / loop-sum / tailcall.
+
+    [tailcall] is (a superset of) the paper's Fig. 10 program: a u64
+    work loop called from an outer loop, where inlining triggers
+    register-pair spills. *)
+
+open Zkopt_ir
+module B = Builder
+open Kern
+
+let () =
+  Workload.register ~uses_precompiles:true ~suite:"rsp" "rsp" (fun size ->
+      (* Reth-Succinct-Processor stand-in: a block of synthetic
+         transactions, each verifying a signature, hashing its payload
+         into a state trie root, and running a little interpreter-style
+         bookkeeping loop (EVM gas accounting). *)
+      let txs = match size with Workload.Quick -> 2 | Full -> 12 in
+      program "rsp"
+        ~globals:
+          [ ("trie", 64); ("payload", 16); ("sigbuf", 8); ("key", 8);
+            ("balances", 32); ("kstate", 50) ]
+        ~body:(fun _m b ->
+          let trie = Value.Glob "trie" and payload = Value.Glob "payload" in
+          let balances = Value.Glob "balances" and kstate = Value.Glob "kstate" in
+          fill_lcg b (Value.Glob "key") ~n:8 ~seed:3;
+          fill_lcg b balances ~n:32 ~seed:9;
+          let gas = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm txs) (fun tx ->
+              (* payload derived from the tx index *)
+              B.for_ b ~from:(B.imm 0) ~bound:(B.imm 16) (fun k ->
+                  st b payload k (B.add b (B.mul b tx (B.imm 977)) k));
+              (* signature check (simulated precompile; tag not valid, the
+                 result still feeds gas accounting deterministically) *)
+              let ok =
+                B.precompilev b "ecdsa_verify"
+                  [ payload; B.imm 16; Value.Glob "sigbuf"; Value.Glob "key" ]
+              in
+              (* keccak the payload into the trie *)
+              B.for_ b ~from:(B.imm 0) ~bound:(B.imm 16) (fun k ->
+                  st b kstate k (B.xor b (ld b kstate k) (ld b payload k)));
+              B.precompile b "keccakf" [ kstate ];
+              let slot = B.and_ b (ld b kstate (B.imm 0)) (B.imm 63) in
+              st b trie slot (B.xor b (ld b trie slot) (ld b kstate (B.imm 1)));
+              (* interpreter-ish gas loop: balance transfers *)
+              B.for_ b ~from:(B.imm 0) ~bound:(B.imm 24) (fun step ->
+                  let from_ = B.and_ b (B.add b step tx) (B.imm 31) in
+                  let to_ = B.and_ b (B.mul b step (B.imm 7)) (B.imm 31) in
+                  let amt = B.and_ b (ld b kstate step) (B.imm 1023) in
+                  st b balances from_ (B.sub b (ld b balances from_) amt);
+                  st b balances to_ (B.add b (ld b balances to_) amt);
+                  B.set b i32 gas
+                    (B.add b (Value.Reg gas) (B.add b (B.imm 21) ok))));
+          let r1 = fold_array b trie ~n:64 in
+          let r2 = fold_array b balances ~n:32 in
+          combine b (combine b r1 r2) (Value.Reg gas)))
+
+let () =
+  Workload.register ~suite:"misc" "zkvm-mnist" (fun size ->
+      (* one-layer perceptron trained on synthetic 7x7 digit images,
+         fixed-point arithmetic (the paper downsamples MNIST to 7x7) *)
+      let pixels = 49 in
+      let classes = 10 in
+      let samples = match size with Workload.Quick -> 6 | Full -> 40 in
+      let epochs = match size with Workload.Quick -> 1 | Full -> 3 in
+      program "zkvm-mnist"
+        ~globals:
+          [ ("weights", pixels * classes); ("img", pixels); ("scores", classes) ]
+        ~body:(fun _m b ->
+          let w = Value.Glob "weights" and img = Value.Glob "img" in
+          let scores = Value.Glob "scores" in
+          fill_lcg b w ~n:(pixels * classes) ~seed:19;
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm epochs) (fun _e ->
+              B.for_ b ~from:(B.imm 0) ~bound:(B.imm samples) (fun s ->
+                  (* synthesize the image and its label *)
+                  let label = B.urem b s (B.imm classes) in
+                  B.for_ b ~from:(B.imm 0) ~bound:(B.imm pixels) (fun p ->
+                      let v =
+                        B.and_ b
+                          (B.mul b (B.add b (B.mul b s (B.imm 53)) p) (B.imm 2654435761))
+                          (B.imm 0xFFFF)
+                      in
+                      st b img p v);
+                  (* forward: scores = W . img *)
+                  B.for_ b ~from:(B.imm 0) ~bound:(B.imm classes) (fun c_ ->
+                      let acc = B.var b i32 (B.imm 0) in
+                      B.for_ b ~from:(B.imm 0) ~bound:(B.imm pixels) (fun p ->
+                          let wi = B.add b (B.mul b c_ (B.imm pixels)) p in
+                          B.set b i32 acc
+                            (B.add b (Value.Reg acc) (fxmul b (ld b w wi) (ld b img p))));
+                      st b scores c_ (Value.Reg acc));
+                  (* argmax *)
+                  let best = B.var b i32 (B.imm 0) in
+                  let besti = B.var b i32 (B.imm 0) in
+                  B.for_ b ~from:(B.imm 0) ~bound:(B.imm classes) (fun c_ ->
+                      let better = B.icmp b Instr.Sgt (ld b scores c_) (Value.Reg best) in
+                      B.if_ b better
+                        ~then_:(fun () ->
+                          B.set b i32 best (ld b scores c_);
+                          B.set b i32 besti c_)
+                        ());
+                  (* perceptron update on mistakes *)
+                  let wrong = B.icmp b Instr.Ne (Value.Reg besti) label in
+                  B.if_ b wrong
+                    ~then_:(fun () ->
+                      B.for_ b ~from:(B.imm 0) ~bound:(B.imm pixels) (fun p ->
+                          let up = B.add b (B.mul b label (B.imm pixels)) p in
+                          let dn = B.add b (B.mul b (Value.Reg besti) (B.imm pixels)) p in
+                          let delta = B.ashr b (ld b img p) (B.imm 4) in
+                          st b w up (B.add b (ld b w up) delta);
+                          st b w dn (B.sub b (ld b w dn) delta)))
+                    ()));
+          fold_array b w ~n:(pixels * classes)))
+
+let () =
+  Workload.register ~suite:"misc" "regex-match" (fun size ->
+      (* table-driven DFA for (ab|ba)*c over a synthetic byte stream *)
+      let len = match size with Workload.Quick -> 200 | Full -> 4000 in
+      let states = 4 in
+      let alphabet = 4 in
+      program "regex-match"
+        ~globals:[ ("delta", states * alphabet); ("text", len) ]
+        ~body:(fun _m b ->
+          let delta = Value.Glob "delta" and text = Value.Glob "text" in
+          (* transition table: s0 -a-> s1, s0 -b-> s2, s1 -b-> s0,
+             s2 -a-> s0, s0 -c-> s3 (accept), others -> dead 3.. use 3 as
+             dead+accept sentinel variants *)
+          let set s ch v = st b delta (B.imm ((s * alphabet) + ch)) (B.imm v) in
+          set 0 0 1; set 0 1 2; set 0 2 3; set 0 3 0;
+          set 1 0 1; set 1 1 0; set 1 2 1; set 1 3 1;
+          set 2 0 0; set 2 1 2; set 2 2 2; set 2 3 2;
+          set 3 0 3; set 3 1 3; set 3 2 3; set 3 3 3;
+          fill_lcg b text ~n:len ~seed:37;
+          let matches = B.var b i32 (B.imm 0) in
+          let state = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm len) (fun i ->
+              let ch = B.and_ b (ld b text i) (B.imm (alphabet - 1)) in
+              let idx = B.add b (B.mul b (Value.Reg state) (B.imm alphabet)) ch in
+              B.set b i32 state (ld b delta idx);
+              let accept = B.icmp b Instr.Eq (Value.Reg state) (B.imm 3) in
+              B.if_ b accept
+                ~then_:(fun () ->
+                  B.set b i32 matches (B.add b (Value.Reg matches) (B.imm 1));
+                  B.set b i32 state (B.imm 0))
+                ());
+          Value.Reg matches))
+
+let () =
+  Workload.register ~uses_precompiles:true ~suite:"misc" "merkle" (fun size ->
+      (* verify inclusion proofs in a depth-d Merkle tree built with the
+         sha256 precompile *)
+      let depth = match size with Workload.Quick -> 4 | Full -> 10 in
+      let proofs = match size with Workload.Quick -> 2 | Full -> 6 in
+      program "merkle"
+        ~globals:[ ("node", 8); ("sibling", 8); ("blk", 16); ("acc", 1) ]
+        ~body:(fun _m b ->
+          let node = Value.Glob "node" and sibling = Value.Glob "sibling" in
+          let blk = Value.Glob "blk" and acc = Value.Glob "acc" in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm proofs) (fun p ->
+              (* leaf hash from the leaf index *)
+              fill_lcg b node ~n:8 ~seed:43;
+              st b node (B.imm 0) p;
+              B.for_ b ~from:(B.imm 0) ~bound:(B.imm depth) (fun lvl ->
+                  (* derive the sibling for this level *)
+                  B.for_ b ~from:(B.imm 0) ~bound:(B.imm 8) (fun k ->
+                      st b sibling k (B.add b (B.mul b lvl (B.imm 131)) k));
+                  (* order by the path bit *)
+                  let bit = B.and_ b (B.lshr b p lvl) (B.imm 1) in
+                  let left_is_node = B.icmp b Instr.Eq bit (B.imm 0) in
+                  B.for_ b ~from:(B.imm 0) ~bound:(B.imm 8) (fun k ->
+                      let nv = B.load b (B.addr b node ~index:k) in
+                      let sv = B.load b (B.addr b sibling ~index:k) in
+                      st b blk k (B.select b left_is_node nv sv);
+                      st b blk (B.add b k (B.imm 8)) (B.select b left_is_node sv nv));
+                  (* node := H(blk) *)
+                  Array.iteri
+                    (fun k w -> st b node (B.imm k) (B.imm (Int32.to_int w)))
+                    Extern.sha256_init_state;
+                  B.precompile b "sha256_compress" [ node; blk ]);
+              st b acc (B.imm 0)
+                (B.xor b (ld b acc (B.imm 0)) (ld b node (B.imm 0))));
+          ld b acc (B.imm 0)))
+
+let () =
+  Workload.register ~suite:"misc" "factorial" (fun size ->
+      (* recursive factorial mod p: the classic tailcallelim subject *)
+      let n = match size with Workload.Quick -> 40 | Full -> 2500 in
+      let m = Modul.create () in
+      ignore
+        (B.define m "fact" ~params:[ i32; i32 ] ~ret:i32 (fun b ps ->
+             let k = List.nth ps 0 and acc = List.nth ps 1 in
+             let base = B.icmp b Instr.Sle k (B.imm 1) in
+             B.if_ b base ~then_:(fun () -> B.ret b (Some acc)) ();
+             let acc' = B.urem b (B.mul b acc k) (B.imm 1000003) in
+             let r = B.callv b "fact" [ B.sub b k (B.imm 1); acc' ] in
+             B.ret b (Some r)));
+      ignore
+        (B.define m "main" ~params:[] ~ret:i32 (fun b _ ->
+             let total = B.var b i32 (B.imm 0) in
+             B.for_ b ~from:(B.imm 1) ~bound:(B.imm 32) (fun i ->
+                 let r = B.callv b "fact" [ B.urem b (B.mul b i (B.imm 97)) (B.imm n); B.imm 1 ] in
+                 B.set b i32 total (B.xor b (Value.Reg total) r));
+             B.ret b (Some (Value.Reg total))));
+      m)
+
+let () =
+  Workload.register ~suite:"misc" "loop-sum" (fun size ->
+      (* the paper's loop-heavy micro: sum with a data-dependent branch *)
+      let n = match size with Workload.Quick -> 500 | Full -> 30000 in
+      program "loop-sum" ~globals:[]
+        ~body:(fun _m b ->
+          let s = B.var b i32 (B.imm 0) in
+          let x = B.var b i32 (B.imm 123456789) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              B.set b i32 x
+                (B.add b (B.mul b (Value.Reg x) (B.imm 1103515245)) (B.imm 12345));
+              let odd = B.and_ b (Value.Reg x) (B.imm 1) in
+              let is_odd = B.icmp b Instr.Ne odd (B.imm 0) in
+              B.if_ b is_odd
+                ~then_:(fun () -> B.set b i32 s (B.add b (Value.Reg s) i))
+                ~else_:(fun () ->
+                  B.set b i32 s (B.xor b (Value.Reg s) (Value.Reg x)))
+                ());
+          Value.Reg s))
+
+let () =
+  Workload.register ~suite:"misc" "tailcall" (fun size ->
+      (* Fig. 10: u64 work() called from a loop; inlining forces three
+         u64 values to coexist and spills register pairs *)
+      let outer = match size with Workload.Quick -> 30 | Full -> 1000 in
+      let m = Modul.create () in
+      ignore
+        (B.define m "work" ~params:[ i64 ] ~ret:i64 (fun b ps ->
+             let x = List.nth ps 0 in
+             let sum = B.var b i64 x in
+             B.for_ ~ty:i64 b ~from:(B.imm 0) ~bound:(B.imm 100) (fun j ->
+                 let t = B.mul ~ty:i64 b (Value.Reg sum) (B.imm 31) in
+                 B.set b i64 sum (B.add ~ty:i64 b t j));
+             B.ret b (Some (Value.Reg sum))));
+      ignore
+        (B.define m "main" ~params:[] ~ret:i32 (fun b _ ->
+             let acc = B.var b i64 (B.imm 0) in
+             B.for_ ~ty:i64 b ~from:(B.imm 0) ~bound:(B.imm outer) (fun i ->
+                 let r = B.callv b "work" [ i ] in
+                 B.set b i64 acc (B.xor ~ty:i64 b (Value.Reg acc) r));
+             let lo = B.trunc b (Value.Reg acc) in
+             let hi = B.trunc b (B.lshr ~ty:i64 b (Value.Reg acc) (B.imm 32)) in
+             B.ret b (Some (B.xor b lo hi))));
+      m)
+
+let registered = true

@@ -1,0 +1,263 @@
+(** The eight NAS Parallel Benchmarks (sequential Rust-port character),
+    reduced: each program keeps the loop/memory structure of its
+    namesake — BT/SP/LU are deep loop-nest block solvers, CG is sparse
+    matvec iteration, EP is random-number rejection sampling, FT is a
+    radix-2 transform, IS is bucket sorting, MG is a V-cycle relaxation. *)
+
+open Zkopt_ir
+module B = Builder
+open Kern
+
+let reg name ~globals build =
+  Workload.register ~suite:"npb" ("npb-" ^ name) (fun size ->
+      program name ~globals:(globals size) ~body:(fun m b -> build m b size))
+
+let dim = function Workload.Quick -> 8 | Full -> 16
+
+(* block-tridiagonal-style solver: depth-4 loop nests over 5-wide blocks *)
+let block_solver ~sweeps b size =
+  let n = dim size in
+  let blk = 5 in
+  let cols = n * blk in
+  let u = Value.Glob "u" and rhs = Value.Glob "rhs" and lhs = Value.Glob "lhs" in
+  fill_lcg b u ~n:(n * cols) ~seed:3;
+  fill_lcg b lhs ~n:(n * cols) ~seed:5;
+  B.for_ b ~from:(B.imm 0) ~bound:(B.imm sweeps) (fun _s ->
+      (* compute rhs from the stencil of u *)
+      for2 b ~ni:(n - 2) ~nj:blk (fun i0 m_ ->
+          let i = B.add b i0 (B.imm 1) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j ->
+              let idx ii = B.add b (B.mul b ii (B.imm cols)) (B.add b (B.mul b j (B.imm blk) |> fun jj -> jj) m_) in
+              let v =
+                B.sub b
+                  (B.add b (ld b u (idx (B.sub b i (B.imm 1))))
+                     (ld b u (idx (B.add b i (B.imm 1)))))
+                  (B.shl b (ld b u (idx i)) (B.imm 1))
+              in
+              st b rhs (idx i) v));
+      (* forward elimination along each line, 5x5-block flavored *)
+      for3 b ~ni:(n - 1) ~nj:blk ~nk:blk (fun i0 m1 m2 ->
+          let i = B.add b i0 (B.imm 1) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j ->
+              let idx ii mm = B.add b (B.mul b ii (B.imm cols)) (B.add b (B.mul b j (B.imm blk)) mm) in
+              let fac = ld b lhs (idx i m1) in
+              let upd =
+                B.sub b (ld b rhs (idx i m1))
+                  (fxmul b fac (ld b rhs (idx (B.sub b i (B.imm 1)) m2)))
+              in
+              st b rhs (idx i m1) upd));
+      (* back substitution into u *)
+      for2 b ~ni:(n - 1) ~nj:blk (fun i0 m_ ->
+          let i = B.sub b (B.imm (n - 2)) i0 in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j ->
+              let idx ii = B.add b (B.mul b ii (B.imm cols)) (B.add b (B.mul b j (B.imm blk)) m_) in
+              st b u (idx i)
+                (B.add b (ld b rhs (idx i))
+                   (B.ashr b (ld b u (idx (B.add b i (B.imm 1)))) (B.imm 2))))));
+  fold_array b u ~n:(n * cols)
+
+let () =
+  let solver_globals size =
+    let n = dim size in
+    [ ("u", n * n * 5); ("rhs", n * n * 5); ("lhs", n * n * 5) ]
+  in
+  reg "bt" ~globals:solver_globals (fun _m b size -> block_solver ~sweeps:2 b size);
+  reg "sp" ~globals:solver_globals (fun _m b size -> block_solver ~sweeps:3 b size);
+  reg "lu" ~globals:solver_globals (fun _m b size ->
+      (* lu adds an extra relaxation pass over the solver structure; the
+         paper's licm case study (Fig. 9) comes from this program *)
+      let n = dim size in
+      let blk = 5 in
+      let cols = n * blk in
+      let u = Value.Glob "u" in
+      let r = block_solver ~sweeps:2 b size in
+      for3 b ~ni:(n - 2) ~nj:(n - 2) ~nk:blk (fun i0 j0 m_ ->
+          let i = B.add b i0 (B.imm 1) and j = B.add b j0 (B.imm 1) in
+          let idx ii jj = B.add b (B.mul b ii (B.imm cols)) (B.add b (B.mul b jj (B.imm blk)) m_) in
+          st b u (idx i j)
+            (B.add b
+               (B.ashr b (B.add b (ld b u (idx (B.sub b i (B.imm 1)) j))
+                            (ld b u (idx i (B.sub b j (B.imm 1))))) (B.imm 1))
+               (B.imm 42)));
+      combine b r (fold_array b u ~n:(n * cols)))
+
+let () =
+  reg "cg"
+    ~globals:(fun size ->
+      let n = 16 * dim size in
+      [ ("av", n * 8); ("acol", n * 8); ("xv", n); ("zv", n); ("pv", n); ("qv", n) ])
+    (fun _m b size ->
+      (* conjugate-gradient iterations over a synthetic 8-per-row sparse
+         matrix *)
+      let n = 16 * dim size in
+      let av = Value.Glob "av" and acol = Value.Glob "acol" in
+      let xv = Value.Glob "xv" and zv = Value.Glob "zv" in
+      let pv = Value.Glob "pv" and qv = Value.Glob "qv" in
+      fill_lcg b av ~n:(n * 8) ~seed:11;
+      fill_lcg b xv ~n ~seed:17;
+      (* column indices in range *)
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm (n * 8)) (fun i ->
+          let v = B.mul b i (B.imm 2654435761) in
+          st b acol i (B.and_ b v (B.imm (n - 1))));
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i -> st b pv i (ld b xv i));
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm 6) (fun _iter ->
+          (* q = A p *)
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun row ->
+              let acc = B.var b i32 (B.imm 0) in
+              B.for_ b ~from:(B.imm 0) ~bound:(B.imm 8) (fun k ->
+                  let e = B.add b (B.mul b row (B.imm 8)) k in
+                  let col = ld b acol e in
+                  B.set b i32 acc
+                    (B.add b (Value.Reg acc) (fxmul b (ld b av e) (ld b pv col))));
+              st b qv row (Value.Reg acc));
+          (* alpha = <p,q> scaled; z += alpha p; p = q + p/2 *)
+          let dot = B.var b i32 (B.imm 0x1_0000) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              B.set b i32 dot
+                (B.add b (Value.Reg dot) (fxmul b (ld b pv i) (ld b qv i))));
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              st b zv i
+                (B.add b (ld b zv i)
+                   (fxdiv b (ld b pv i) (B.or_ b (Value.Reg dot) (B.imm 0x100))));
+              st b pv i (B.add b (ld b qv i) (B.ashr b (ld b pv i) (B.imm 1)))));
+      fold_array b zv ~n)
+
+let () =
+  reg "ep"
+    ~globals:(fun _ -> [ ("counts", 16) ])
+    (fun _m b size ->
+      (* embarrassingly parallel rejection sampling: generate pairs, keep
+         those inside the disc, bucket by annulus *)
+      let iters = match size with Workload.Quick -> 400 | Full -> 6000 in
+      let counts = Value.Glob "counts" in
+      let s = B.var b i32 (B.imm 271828183) in
+      let inside = B.var b i32 (B.imm 0) in
+      let lcg () =
+        let nxt = B.add b (B.mul b (Value.Reg s) (B.imm 1103515245)) (B.imm 12345) in
+        B.set b i32 s nxt;
+        (* uniform Q16.16 in [0,2) *)
+        B.and_ b (Value.Reg s) (B.imm 0x1_FFFF)
+      in
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm iters) (fun _i ->
+          let px = B.sub b (lcg ()) (fx_of_int 1) in
+          let py = B.sub b (lcg ()) (fx_of_int 1) in
+          let t = B.add b (fxmul b px px) (fxmul b py py) in
+          let ok = B.icmp b Instr.Sle t (fx_of_int 1) in
+          B.if_ b ok
+            ~then_:(fun () ->
+              B.set b i32 inside (B.add b (Value.Reg inside) (B.imm 1));
+              let annulus = B.and_ b (B.lshr b t (B.imm 13)) (B.imm 15) in
+              st b counts annulus (B.add b (ld b counts annulus) (B.imm 1)))
+            ());
+      combine b (fold_array b counts ~n:16) (Value.Reg inside))
+
+let () =
+  reg "ft"
+    ~globals:(fun size ->
+      let n = 8 * dim size in
+      [ ("re", n); ("im", n) ])
+    (fun _m b size ->
+      (* iterative radix-2 butterfly over fixed-point complex data *)
+      let n = 8 * dim size in
+      let logn =
+        let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
+        go 0 1
+      in
+      let re = Value.Glob "re" and im = Value.Glob "im" in
+      fill_lcg b re ~n ~seed:23;
+      fill_lcg b im ~n ~seed:31;
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm logn) (fun stage ->
+          let half = B.shl b (B.imm 1) stage in
+          let span = B.shl b half (B.imm 1) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              let pos = B.urem b i span in
+              let lower = B.icmp b Instr.Ult pos half in
+              B.if_ b lower
+                ~then_:(fun () ->
+                  let j = B.add b i half in
+                  (* twiddle approximated by a shifted rotation *)
+                  let wr = B.sub b (fx_of_int 1) (B.shl b pos (B.imm 8)) in
+                  let tr =
+                    B.sub b (fxmul b (ld b re j) wr) (B.ashr b (ld b im j) (B.imm 1))
+                  in
+                  let ti =
+                    B.add b (fxmul b (ld b im j) wr) (B.ashr b (ld b re j) (B.imm 1))
+                  in
+                  st b re j (B.sub b (ld b re i) tr);
+                  st b im j (B.sub b (ld b im i) ti);
+                  st b re i (B.add b (ld b re i) tr);
+                  st b im i (B.add b (ld b im i) ti))
+                ()));
+      combine b (fold_array b re ~n) (fold_array b im ~n))
+
+let () =
+  reg "is"
+    ~globals:(fun size ->
+      let n = 64 * dim size in
+      [ ("keys", n); ("buckets", 256); ("sorted", n) ])
+    (fun _m b size ->
+      (* bucket sort with prefix sums *)
+      let n = 64 * dim size in
+      let keys = Value.Glob "keys" and buckets = Value.Glob "buckets" in
+      let sorted = Value.Glob "sorted" in
+      fill_lcg b keys ~n ~seed:41;
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          let k = B.and_ b (ld b keys i) (B.imm 255) in
+          st b keys i k;
+          st b buckets k (B.add b (ld b buckets k) (B.imm 1)));
+      (* exclusive prefix sum *)
+      let run = B.var b i32 (B.imm 0) in
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm 256) (fun k ->
+          let cnt = ld b buckets k in
+          st b buckets k (Value.Reg run);
+          B.set b i32 run (B.add b (Value.Reg run) cnt));
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          let k = ld b keys i in
+          let pos = ld b buckets k in
+          st b buckets k (B.add b pos (B.imm 1));
+          st b sorted pos k);
+      fold_array b sorted ~n)
+
+let () =
+  reg "mg"
+    ~globals:(fun size ->
+      let n = 8 * dim size in
+      [ ("v0", n); ("v1", n / 2); ("v2", n / 4); ("r0", n) ])
+    (fun _m b size ->
+      (* one V-cycle: restrict to two coarser grids, relax, prolongate *)
+      let n = 8 * dim size in
+      let v0 = Value.Glob "v0" and v1 = Value.Glob "v1" in
+      let v2 = Value.Glob "v2" and r0 = Value.Glob "r0" in
+      fill_lcg b v0 ~n ~seed:53;
+      let relax arr len =
+        B.for_ b ~from:(B.imm 1) ~bound:(B.imm (len - 1)) (fun i ->
+            let v =
+              B.ashr b
+                (B.add b (ld b arr (B.sub b i (B.imm 1)))
+                   (B.add b (B.shl b (ld b arr i) (B.imm 1))
+                      (ld b arr (B.add b i (B.imm 1)))))
+                (B.imm 2)
+            in
+            st b arr i v)
+      in
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm 3) (fun _cycle ->
+          relax v0 n;
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm (n / 2)) (fun i ->
+              st b v1 i (B.ashr b (B.add b (ld b v0 (B.shl b i (B.imm 1)))
+                                     (ld b v0 (B.add b (B.shl b i (B.imm 1)) (B.imm 1))))
+                           (B.imm 1)));
+          relax v1 (n / 2);
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm (n / 4)) (fun i ->
+              st b v2 i (B.ashr b (B.add b (ld b v1 (B.shl b i (B.imm 1)))
+                                     (ld b v1 (B.add b (B.shl b i (B.imm 1)) (B.imm 1))))
+                           (B.imm 1)));
+          relax v2 (n / 4);
+          (* prolongate and correct *)
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm (n / 2)) (fun i ->
+              let coarse = ld b v2 (B.lshr b i (B.imm 1)) in
+              st b v1 i (B.add b (ld b v1 i) (B.ashr b coarse (B.imm 1))));
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              let coarse = ld b v1 (B.lshr b i (B.imm 1)) in
+              st b r0 i (B.add b (ld b v0 i) (B.ashr b coarse (B.imm 1)));
+              st b v0 i (ld b r0 i)));
+      fold_array b v0 ~n)

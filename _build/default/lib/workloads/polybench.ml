@@ -1,0 +1,498 @@
+(** The 30 PolyBench kernels (Rust-port variant the paper uses), in
+    Q16.16 fixed point with reduced problem sizes. *)
+
+open Zkopt_ir
+module B = Builder
+open Kern
+
+let n_of = function Workload.Quick -> 8 | Full -> 18
+
+let reg name ?(extra_globals = []) kernel =
+  Workload.register ~suite:"polybench" ("polybench-" ^ name) (fun size ->
+      let n = n_of size in
+      program name
+        ~globals:
+          ((List.map (fun (g, scale) -> (g, scale * n * n)) extra_globals)
+          @ [ ("A", n * n); ("Bm", n * n); ("C", n * n); ("x", n); ("y", n);
+              ("tmp", n) ])
+        ~body:(fun _m b ->
+          fill_lcg b (Value.Glob "A") ~n:(n * n) ~seed:7;
+          fill_lcg b (Value.Glob "Bm") ~n:(n * n) ~seed:13;
+          fill_lcg b (Value.Glob "x") ~n ~seed:29;
+          kernel b ~n;
+          let c1 = fold_array b (Value.Glob "C") ~n:(n * n) in
+          let c2 = fold_array b (Value.Glob "y") ~n in
+          combine b c1 c2))
+
+let a = Value.Glob "A"
+let bm = Value.Glob "Bm"
+let c = Value.Glob "C"
+let x = Value.Glob "x"
+let y = Value.Glob "y"
+let tmp = Value.Glob "tmp"
+
+(* ---- linear algebra: blas ---------------------------------------- *)
+
+let () =
+  reg "gemm" (fun b ~n ->
+      (* C := alpha*A*B + beta*C *)
+      for2 b ~ni:n ~nj:n (fun i j ->
+          let acc = B.var b i32 (fxmul b (ld2 b c ~cols:n i j) (fx_of_int 1)) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun k ->
+              let p = fxmul b (ld2 b a ~cols:n i k) (ld2 b bm ~cols:n k j) in
+              B.set b i32 acc (B.add b (Value.Reg acc) p));
+          st2 b c ~cols:n i j (Value.Reg acc)));
+  reg "2mm" (fun b ~n ->
+      (* tmp-matrix = A*B; C += tmp*A (reusing A as the second operand) *)
+      for2 b ~ni:n ~nj:n (fun i j ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun k ->
+              B.set b i32 acc
+                (B.add b (Value.Reg acc)
+                   (fxmul b (ld2 b a ~cols:n i k) (ld2 b bm ~cols:n k j))));
+          st2 b c ~cols:n i j (Value.Reg acc));
+      for2 b ~ni:n ~nj:n (fun i j ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun k ->
+              B.set b i32 acc
+                (B.add b (Value.Reg acc)
+                   (fxmul b (ld2 b c ~cols:n i k) (ld2 b a ~cols:n k j))));
+          st b y i (B.add b (ld b y i) (Value.Reg acc))));
+  reg "3mm" (fun b ~n ->
+      for2 b ~ni:n ~nj:n (fun i j ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun k ->
+              B.set b i32 acc
+                (B.add b (Value.Reg acc)
+                   (fxmul b (ld2 b a ~cols:n i k) (ld2 b bm ~cols:n k j))));
+          st2 b c ~cols:n i j (Value.Reg acc));
+      for2 b ~ni:n ~nj:n (fun i j ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun k ->
+              B.set b i32 acc
+                (B.add b (Value.Reg acc)
+                   (fxmul b (ld2 b bm ~cols:n i k) (ld2 b c ~cols:n k j))));
+          st2 b a ~cols:n i j (Value.Reg acc));
+      for2 b ~ni:n ~nj:n (fun i j ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun k ->
+              B.set b i32 acc
+                (B.add b (Value.Reg acc)
+                   (fxmul b (ld2 b c ~cols:n i k) (ld2 b a ~cols:n k j))));
+          st b y i (Value.Reg acc)));
+  reg "atax" (fun b ~n ->
+      (* y = A^T (A x) *)
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j ->
+              B.set b i32 acc
+                (B.add b (Value.Reg acc) (fxmul b (ld2 b a ~cols:n i j) (ld b x j))));
+          st b tmp i (Value.Reg acc));
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              B.set b i32 acc
+                (B.add b (Value.Reg acc) (fxmul b (ld2 b a ~cols:n i j) (ld b tmp i))));
+          st b y j (Value.Reg acc)));
+  reg "bicg" (fun b ~n ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j ->
+              B.set b i32 acc
+                (B.add b (Value.Reg acc) (fxmul b (ld2 b a ~cols:n i j) (ld b x j))));
+          st b y i (Value.Reg acc));
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              B.set b i32 acc
+                (B.add b (Value.Reg acc)
+                   (fxmul b (ld2 b a ~cols:n i j) (ld b tmp i))));
+          st b c (B.imm 0) (B.add b (ld b c (B.imm 0)) (Value.Reg acc))));
+  reg "mvt" (fun b ~n ->
+      for2 b ~ni:n ~nj:n (fun i j ->
+          st b x i (B.add b (ld b x i) (fxmul b (ld2 b a ~cols:n i j) (ld b y j))));
+      for2 b ~ni:n ~nj:n (fun i j ->
+          st b y i (B.add b (ld b y i) (fxmul b (ld2 b a ~cols:n j i) (ld b x j)))));
+  reg "gemver" (fun b ~n ->
+      for2 b ~ni:n ~nj:n (fun i j ->
+          let v =
+            B.add b (ld2 b a ~cols:n i j)
+              (B.add b (fxmul b (ld b x i) (ld b y j))
+                 (fxmul b (ld b tmp i) (ld b y j)))
+          in
+          st2 b a ~cols:n i j v);
+      for2 b ~ni:n ~nj:n (fun i j ->
+          st b y i (B.add b (ld b y i) (fxmul b (ld2 b a ~cols:n j i) (ld b x j))));
+      for2 b ~ni:n ~nj:n (fun i j ->
+          st2 b c ~cols:n i j (fxmul b (ld2 b a ~cols:n i j) (ld b y j))));
+  reg "gesummv" (fun b ~n ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          let s1 = B.var b i32 (B.imm 0) in
+          let s2 = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j ->
+              B.set b i32 s1
+                (B.add b (Value.Reg s1) (fxmul b (ld2 b a ~cols:n i j) (ld b x j)));
+              B.set b i32 s2
+                (B.add b (Value.Reg s2) (fxmul b (ld2 b bm ~cols:n i j) (ld b x j))));
+          st b y i (B.add b (fxmul b (fx_of_int 2) (Value.Reg s1))
+                      (fxmul b (fx_of_int 3) (Value.Reg s2)))));
+  reg "syrk" (fun b ~n ->
+      for2 b ~ni:n ~nj:n (fun i j ->
+          let acc = B.var b i32 (ld2 b c ~cols:n i j) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun k ->
+              B.set b i32 acc
+                (B.add b (Value.Reg acc)
+                   (fxmul b (ld2 b a ~cols:n i k) (ld2 b a ~cols:n j k))));
+          st2 b c ~cols:n i j (Value.Reg acc)));
+  reg "syr2k" (fun b ~n ->
+      for2 b ~ni:n ~nj:n (fun i j ->
+          let acc = B.var b i32 (ld2 b c ~cols:n i j) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun k ->
+              let t1 = fxmul b (ld2 b a ~cols:n i k) (ld2 b bm ~cols:n j k) in
+              let t2 = fxmul b (ld2 b bm ~cols:n i k) (ld2 b a ~cols:n j k) in
+              B.set b i32 acc (B.add b (Value.Reg acc) (B.add b t1 t2)));
+          st2 b c ~cols:n i j (Value.Reg acc)));
+  reg "symm" (fun b ~n ->
+      for2 b ~ni:n ~nj:n (fun i j ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:i (fun k ->
+              let t = fxmul b (ld2 b a ~cols:n i k) (ld2 b bm ~cols:n k j) in
+              B.set b i32 acc (B.add b (Value.Reg acc) t);
+              st2 b c ~cols:n k j
+                (B.add b (ld2 b c ~cols:n k j)
+                   (fxmul b (ld2 b a ~cols:n i k) (ld2 b bm ~cols:n i j))));
+          let v =
+            B.add b (ld2 b c ~cols:n i j)
+              (B.add b (fxmul b (ld2 b bm ~cols:n i j) (ld2 b a ~cols:n i i))
+                 (Value.Reg acc))
+          in
+          st2 b c ~cols:n i j v));
+  reg "trmm" (fun b ~n ->
+      for2 b ~ni:n ~nj:n (fun i j ->
+          let acc = B.var b i32 (ld2 b bm ~cols:n i j) in
+          B.for_ b ~from:(B.add b i (B.imm 1)) ~bound:(B.imm n) (fun k ->
+              B.set b i32 acc
+                (B.add b (Value.Reg acc)
+                   (fxmul b (ld2 b a ~cols:n k i) (ld2 b bm ~cols:n k j))));
+          st2 b c ~cols:n i j (Value.Reg acc)));
+  reg "trisolv" (fun b ~n ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          let acc = B.var b i32 (ld b x i) in
+          B.for_ b ~from:(B.imm 0) ~bound:i (fun j ->
+              B.set b i32 acc
+                (B.sub b (Value.Reg acc) (fxmul b (ld2 b a ~cols:n i j) (ld b y j))));
+          (* diagonal kept away from zero *)
+          let diag = B.or_ b (ld2 b a ~cols:n i i) (B.imm 0x1_0000) in
+          st b y i (fxdiv b (Value.Reg acc) diag)));
+  reg "cholesky" (fun b ~n ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          B.for_ b ~from:(B.imm 0) ~bound:i (fun j ->
+              let acc = B.var b i32 (ld2 b a ~cols:n i j) in
+              B.for_ b ~from:(B.imm 0) ~bound:j (fun k ->
+                  B.set b i32 acc
+                    (B.sub b (Value.Reg acc)
+                       (fxmul b (ld2 b a ~cols:n i k) (ld2 b a ~cols:n j k))));
+              let diag = B.or_ b (ld2 b a ~cols:n j j) (B.imm 0x1_0000) in
+              st2 b a ~cols:n i j (fxdiv b (Value.Reg acc) diag));
+          (* pseudo square root on the diagonal: keep positive magnitude *)
+          let d = B.or_ b (ld2 b a ~cols:n i i) (B.imm 0x1_0000) in
+          st2 b a ~cols:n i i (B.lshr b d (B.imm 1)));
+      for2 b ~ni:n ~nj:n (fun i j -> st2 b c ~cols:n i j (ld2 b a ~cols:n i j)));
+  reg "lu" (fun b ~n ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          B.for_ b ~from:(B.imm 0) ~bound:i (fun j ->
+              let acc = B.var b i32 (ld2 b a ~cols:n i j) in
+              B.for_ b ~from:(B.imm 0) ~bound:j (fun k ->
+                  B.set b i32 acc
+                    (B.sub b (Value.Reg acc)
+                       (fxmul b (ld2 b a ~cols:n i k) (ld2 b a ~cols:n k j))));
+              let diag = B.or_ b (ld2 b a ~cols:n j j) (B.imm 0x1_0000) in
+              st2 b a ~cols:n i j (fxdiv b (Value.Reg acc) diag));
+          B.for_ b ~from:i ~bound:(B.imm n) (fun j ->
+              let acc = B.var b i32 (ld2 b a ~cols:n i j) in
+              B.for_ b ~from:(B.imm 0) ~bound:i (fun k ->
+                  B.set b i32 acc
+                    (B.sub b (Value.Reg acc)
+                       (fxmul b (ld2 b a ~cols:n i k) (ld2 b a ~cols:n k j))));
+              st2 b a ~cols:n i j (Value.Reg acc)));
+      for2 b ~ni:n ~nj:n (fun i j -> st2 b c ~cols:n i j (ld2 b a ~cols:n i j)));
+  reg "ludcmp" (fun b ~n ->
+      (* lu factorization followed by the two triangular solves *)
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          B.for_ b ~from:(B.imm 0) ~bound:i (fun j ->
+              let acc = B.var b i32 (ld2 b a ~cols:n i j) in
+              B.for_ b ~from:(B.imm 0) ~bound:j (fun k ->
+                  B.set b i32 acc
+                    (B.sub b (Value.Reg acc)
+                       (fxmul b (ld2 b a ~cols:n i k) (ld2 b a ~cols:n k j))));
+              let diag = B.or_ b (ld2 b a ~cols:n j j) (B.imm 0x1_0000) in
+              st2 b a ~cols:n i j (fxdiv b (Value.Reg acc) diag)));
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          let acc = B.var b i32 (ld b x i) in
+          B.for_ b ~from:(B.imm 0) ~bound:i (fun j ->
+              B.set b i32 acc
+                (B.sub b (Value.Reg acc) (fxmul b (ld2 b a ~cols:n i j) (ld b tmp j))));
+          st b tmp i (Value.Reg acc));
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i2 ->
+          let i = B.sub b (B.imm (n - 1)) i2 in
+          let acc = B.var b i32 (ld b tmp i) in
+          B.for_ b ~from:(B.add b i (B.imm 1)) ~bound:(B.imm n) (fun j ->
+              B.set b i32 acc
+                (B.sub b (Value.Reg acc) (fxmul b (ld2 b a ~cols:n i j) (ld b y j))));
+          let diag = B.or_ b (ld2 b a ~cols:n i i) (B.imm 0x1_0000) in
+          st b y i (fxdiv b (Value.Reg acc) diag)))
+
+(* ---- data mining / stencils / dynamic programming ------------------ *)
+
+let () =
+  reg "correlation" (fun b ~n ->
+      (* means in y, then the correlation-like matrix in C *)
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              B.set b i32 acc (B.add b (Value.Reg acc) (ld2 b a ~cols:n i j)));
+          st b y j (B.sdiv b (Value.Reg acc) (B.imm n)));
+      for2 b ~ni:n ~nj:n (fun j1 j2 ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              let d1 = B.sub b (ld2 b a ~cols:n i j1) (ld b y j1) in
+              let d2 = B.sub b (ld2 b a ~cols:n i j2) (ld b y j2) in
+              B.set b i32 acc (B.add b (Value.Reg acc) (fxmul b d1 d2)));
+          st2 b c ~cols:n j1 j2 (Value.Reg acc)));
+  reg "covariance" (fun b ~n ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              B.set b i32 acc (B.add b (Value.Reg acc) (ld2 b a ~cols:n i j)));
+          st b y j (B.sdiv b (Value.Reg acc) (B.imm n)));
+      for2 b ~ni:n ~nj:n (fun j1 j2 ->
+          let acc = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              let d1 = B.sub b (ld2 b a ~cols:n i j1) (ld b y j1) in
+              let d2 = B.sub b (ld2 b a ~cols:n i j2) (ld b y j2) in
+              B.set b i32 acc (B.add b (Value.Reg acc) (fxmul b d1 d2)));
+          st2 b c ~cols:n j1 j2 (B.sdiv b (Value.Reg acc) (B.imm (max 1 (n - 1))))));
+  reg "gramschmidt" (fun b ~n ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun k ->
+          let nrm = B.var b i32 (B.imm 0x1_0000) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              let v = ld2 b a ~cols:n i k in
+              B.set b i32 nrm (B.add b (Value.Reg nrm) (fxmul b v v)));
+          st2 b c ~cols:n k k (Value.Reg nrm);
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+              st2 b bm ~cols:n i k (fxdiv b (ld2 b a ~cols:n i k) (Value.Reg nrm)));
+          B.for_ b ~from:(B.add b k (B.imm 1)) ~bound:(B.imm n) (fun j ->
+              let acc = B.var b i32 (B.imm 0) in
+              B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+                  B.set b i32 acc
+                    (B.add b (Value.Reg acc)
+                       (fxmul b (ld2 b bm ~cols:n i k) (ld2 b a ~cols:n i j))));
+              st2 b c ~cols:n k j (Value.Reg acc);
+              B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+                  st2 b a ~cols:n i j
+                    (B.sub b (ld2 b a ~cols:n i j)
+                       (fxmul b (ld2 b bm ~cols:n i k) (Value.Reg acc)))))));
+  reg "floyd-warshall" (fun b ~n ->
+      for3 b ~ni:n ~nj:n ~nk:n (fun k i j ->
+          let through = B.add b (ld2 b a ~cols:n i k) (ld2 b a ~cols:n k j) in
+          let direct = ld2 b a ~cols:n i j in
+          let shorter = B.icmp b Instr.Slt through direct in
+          st2 b a ~cols:n i j (B.select b shorter through direct));
+      for2 b ~ni:n ~nj:n (fun i j -> st2 b c ~cols:n i j (ld2 b a ~cols:n i j)));
+  reg "nussinov" (fun b ~n ->
+      (* dp over sequence pairs; the abs/branch pattern of Fig. 12 *)
+      B.for_ b ~from:(B.imm 1) ~bound:(B.imm n) (fun span ->
+          B.for_ b ~from:(B.imm 0) ~bound:(B.sub b (B.imm n) span) (fun i ->
+              let j = B.add b i span in
+              let best = B.var b i32 (ld2 b c ~cols:n i j) in
+              let with_pair =
+                let si = B.and_ b (ld b x i) (B.imm 3) in
+                let sj = B.and_ b (ld b x (B.sub b j (B.imm 1))) (B.imm 3) in
+                let matchp = B.icmp b Instr.Eq (B.add b si sj) (B.imm 3) in
+                let inner =
+                  B.add b
+                    (ld2 b c ~cols:n (B.add b i (B.imm 1)) (B.sub b j (B.imm 1)))
+                    (B.select b matchp (B.imm 1) (B.imm 0))
+                in
+                inner
+              in
+              let better = B.icmp b Instr.Sgt with_pair (Value.Reg best) in
+              B.if_ b better
+                ~then_:(fun () -> B.set b i32 best with_pair)
+                ();
+              st2 b c ~cols:n i j (Value.Reg best))));
+  reg "deriche" (fun b ~n ->
+      (* two directional IIR-style passes *)
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          let ym1 = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j ->
+              let v =
+                B.add b
+                  (fxmul b (ld2 b a ~cols:n i j) (fx_of_int 1))
+                  (fxmul b (Value.Reg ym1) (B.imm 0x8000))
+              in
+              B.set b i32 ym1 v;
+              st2 b c ~cols:n i j v));
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun i ->
+          let yp1 = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j2 ->
+              let j = B.sub b (B.imm (n - 1)) j2 in
+              let v =
+                B.add b (ld2 b c ~cols:n i j) (fxmul b (Value.Reg yp1) (B.imm 0x4000))
+              in
+              B.set b i32 yp1 v;
+              st2 b c ~cols:n i j v)));
+  reg "adi" (fun b ~n ->
+      (* alternating-direction sweeps *)
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm 4) (fun _t ->
+          for2 b ~ni:n ~nj:n (fun i j ->
+              let v =
+                B.add b (ld2 b a ~cols:n i j)
+                  (fxmul b (ld2 b bm ~cols:n i j) (B.imm 0x2000))
+              in
+              st2 b c ~cols:n i j v);
+          for2 b ~ni:n ~nj:n (fun i j ->
+              st2 b a ~cols:n i j
+                (B.add b (ld2 b c ~cols:n j i) (B.lshr b (ld2 b a ~cols:n i j) (B.imm 1))))));
+  reg "doitgen" (fun b ~n ->
+      let q = min n 8 in
+      for2 b ~ni:q ~nj:q (fun r_ q_ ->
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun p ->
+              let acc = B.var b i32 (B.imm 0) in
+              B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun s ->
+                  let arp =
+                    ld2 b a ~cols:n (B.add b (B.mul b r_ (B.imm q)) q_) s
+                  in
+                  B.set b i32 acc
+                    (B.add b (Value.Reg acc) (fxmul b arp (ld2 b c ~cols:n s p))));
+              st b tmp p (Value.Reg acc));
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun p ->
+              st2 b a ~cols:n (B.add b (B.mul b r_ (B.imm q)) q_) p (ld b tmp p))));
+  reg "durbin" (fun b ~n ->
+      (* Toeplitz solver with a data-dependent divide each step *)
+      st b y (B.imm 0) (B.sub b (B.imm 0) (ld b x (B.imm 0)));
+      let alpha = B.var b i32 (B.sub b (B.imm 0) (ld b x (B.imm 0))) in
+      let beta = B.var b i32 (fx_of_int 1) in
+      B.for_ b ~from:(B.imm 1) ~bound:(B.imm n) (fun k ->
+          let a2 = fxmul b (Value.Reg alpha) (Value.Reg alpha) in
+          B.set b i32 beta
+            (fxmul b (B.sub b (fx_of_int 1) a2) (Value.Reg beta));
+          let sum = B.var b i32 (B.imm 0) in
+          B.for_ b ~from:(B.imm 0) ~bound:k (fun i ->
+              B.set b i32 sum
+                (B.add b (Value.Reg sum)
+                   (fxmul b (ld b x (B.sub b k (B.add b i (B.imm 1))))
+                      (ld b y i))));
+          let betap = B.or_ b (Value.Reg beta) (B.imm 0x100) in
+          B.set b i32 alpha
+            (B.sub b (B.imm 0)
+               (fxdiv b (B.add b (ld b x k) (Value.Reg sum)) betap));
+          B.for_ b ~from:(B.imm 0) ~bound:k (fun i ->
+              st b tmp i
+                (B.add b (ld b y i)
+                   (fxmul b (Value.Reg alpha)
+                      (ld b y (B.sub b k (B.add b i (B.imm 1)))))));
+          B.for_ b ~from:(B.imm 0) ~bound:k (fun i -> st b y i (ld b tmp i));
+          st b y k (Value.Reg alpha)));
+  reg "jacobi-1d" (fun b ~n ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm 8) (fun _t ->
+          B.for_ b ~from:(B.imm 1) ~bound:(B.imm (n - 1)) (fun i ->
+              let v =
+                B.sdiv b
+                  (B.add b (ld b x (B.sub b i (B.imm 1)))
+                     (B.add b (ld b x i) (ld b x (B.add b i (B.imm 1)))))
+                  (B.imm 3)
+              in
+              st b y i v);
+          B.for_ b ~from:(B.imm 1) ~bound:(B.imm (n - 1)) (fun i -> st b x i (ld b y i))));
+  reg "jacobi-2d" (fun b ~n ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm 3) (fun _t ->
+          for2 b ~ni:(n - 2) ~nj:(n - 2) (fun i0 j0 ->
+              let i = B.add b i0 (B.imm 1) and j = B.add b j0 (B.imm 1) in
+              let v =
+                B.sdiv b
+                  (B.add b (ld2 b a ~cols:n i j)
+                     (B.add b
+                        (B.add b (ld2 b a ~cols:n (B.sub b i (B.imm 1)) j)
+                           (ld2 b a ~cols:n (B.add b i (B.imm 1)) j))
+                        (B.add b (ld2 b a ~cols:n i (B.sub b j (B.imm 1)))
+                           (ld2 b a ~cols:n i (B.add b j (B.imm 1))))))
+                  (B.imm 5)
+              in
+              st2 b c ~cols:n i j v);
+          for2 b ~ni:(n - 2) ~nj:(n - 2) (fun i0 j0 ->
+              let i = B.add b i0 (B.imm 1) and j = B.add b j0 (B.imm 1) in
+              st2 b a ~cols:n i j (ld2 b c ~cols:n i j))));
+  reg "seidel-2d" (fun b ~n ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm 3) (fun _t ->
+          for2 b ~ni:(n - 2) ~nj:(n - 2) (fun i0 j0 ->
+              let i = B.add b i0 (B.imm 1) and j = B.add b j0 (B.imm 1) in
+              let v =
+                B.sdiv b
+                  (B.add b
+                     (B.add b (ld2 b a ~cols:n (B.sub b i (B.imm 1)) j)
+                        (ld2 b a ~cols:n (B.add b i (B.imm 1)) j))
+                     (B.add b (ld2 b a ~cols:n i (B.sub b j (B.imm 1)))
+                        (B.add b (ld2 b a ~cols:n i (B.add b j (B.imm 1)))
+                           (ld2 b a ~cols:n i j))))
+                  (B.imm 5)
+              in
+              st2 b a ~cols:n i j v)));
+  reg "fdtd-2d" (fun b ~n ->
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm 3) (fun t ->
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm n) (fun j -> st2 b a ~cols:n (B.imm 0) j t);
+          for2 b ~ni:(n - 1) ~nj:n (fun i0 j ->
+              let i = B.add b i0 (B.imm 1) in
+              st2 b a ~cols:n i j
+                (B.sub b (ld2 b a ~cols:n i j)
+                   (fxmul b (B.imm 0x8000)
+                      (B.sub b (ld2 b bm ~cols:n i j)
+                         (ld2 b bm ~cols:n (B.sub b i (B.imm 1)) j)))));
+          for2 b ~ni:n ~nj:(n - 1) (fun i j0 ->
+              let j = B.add b j0 (B.imm 1) in
+              st2 b c ~cols:n i j
+                (B.sub b (ld2 b c ~cols:n i j)
+                   (fxmul b (B.imm 0x8000)
+                      (B.sub b (ld2 b bm ~cols:n i j)
+                         (ld2 b bm ~cols:n i (B.sub b j (B.imm 1)))))));
+          for2 b ~ni:(n - 1) ~nj:(n - 1) (fun i j ->
+              st2 b bm ~cols:n i j
+                (B.sub b (ld2 b bm ~cols:n i j)
+                   (fxmul b (B.imm 0xB333)
+                      (B.add b
+                         (B.sub b (ld2 b a ~cols:n (B.add b i (B.imm 1)) j)
+                            (ld2 b a ~cols:n i j))
+                         (B.sub b (ld2 b c ~cols:n i (B.add b j (B.imm 1)))
+                            (ld2 b c ~cols:n i j))))))));
+  reg "heat-3d" (fun b ~n ->
+      let d = min n 8 in
+      B.for_ b ~from:(B.imm 0) ~bound:(B.imm 2) (fun _t ->
+          for3 b ~ni:(d - 2) ~nj:(d - 2) ~nk:(d - 2) (fun i0 j0 k0 ->
+              let i = B.add b i0 (B.imm 1)
+              and j = B.add b j0 (B.imm 1)
+              and k = B.add b k0 (B.imm 1) in
+              let idx3 x y z =
+                B.add b (B.mul b x (B.imm (d * d))) (B.add b (B.mul b y (B.imm d)) z)
+              in
+              let l v = ld b a v in
+              let v =
+                B.add b (l (idx3 i j k))
+                  (B.ashr b
+                     (B.add b
+                        (B.add b (l (idx3 (B.add b i (B.imm 1)) j k))
+                           (l (idx3 (B.sub b i (B.imm 1)) j k)))
+                        (B.add b (l (idx3 i (B.add b j (B.imm 1)) k))
+                           (B.add b (l (idx3 i (B.sub b j (B.imm 1)) k))
+                              (B.add b (l (idx3 i j (B.add b k (B.imm 1))))
+                                 (l (idx3 i j (B.sub b k (B.imm 1))))))))
+                     (B.imm 3))
+              in
+              st b c (idx3 i j k) v);
+          for3 b ~ni:(d - 2) ~nj:(d - 2) ~nk:(d - 2) (fun i0 j0 k0 ->
+              let i = B.add b i0 (B.imm 1)
+              and j = B.add b j0 (B.imm 1)
+              and k = B.add b k0 (B.imm 1) in
+              let idx3 x y z =
+                B.add b (B.mul b x (B.imm (d * d))) (B.add b (B.mul b y (B.imm d)) z)
+              in
+              st b a (idx3 i j k) (ld b c (idx3 i j k)))))

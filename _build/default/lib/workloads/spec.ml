@@ -1,0 +1,131 @@
+(** The three SPEC CPU 2017 stand-ins the paper uses (605.mcf, 619.lbm,
+    631.deepsjeng).  Substitutions (DESIGN.md): each keeps the
+    computational character of its namesake — 605 is graph relaxation
+    over an arc network, 619 is a lattice stencil with collision terms,
+    631 is alpha-beta search over a deterministic synthetic game tree. *)
+
+open Zkopt_ir
+module B = Builder
+open Kern
+
+let () =
+  Workload.register ~suite:"spec" "spec-605" (fun size ->
+      (* mcf-flavored: Bellman-Ford relaxation over a synthetic network *)
+      let nodes = match size with Workload.Quick -> 24 | Full -> 96 in
+      let arcs = nodes * 4 in
+      program "spec-605"
+        ~globals:[ ("dist", nodes); ("src", arcs); ("dst", arcs); ("cost", arcs) ]
+        ~body:(fun _m b ->
+          let dist = Value.Glob "dist" and src = Value.Glob "src" in
+          let dst = Value.Glob "dst" and cost = Value.Glob "cost" in
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm arcs) (fun e ->
+              let h = B.mul b e (B.imm 2654435761) in
+              st b src e (B.and_ b h (B.imm (nodes - 1)));
+              st b dst e (B.and_ b (B.lshr b h (B.imm 8)) (B.imm (nodes - 1)));
+              st b cost e (B.add b (B.and_ b (B.lshr b h (B.imm 16)) (B.imm 255)) (B.imm 1)));
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm nodes) (fun v ->
+              st b dist v (B.imm 0x3FFFFFFF));
+          st b dist (B.imm 0) (B.imm 0);
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm (nodes / 2)) (fun _round ->
+              B.for_ b ~from:(B.imm 0) ~bound:(B.imm arcs) (fun e ->
+                  let u = ld b src e and v = ld b dst e in
+                  let cand = B.add b (ld b dist u) (ld b cost e) in
+                  let better = B.icmp b Instr.Slt cand (ld b dist v) in
+                  B.if_ b better ~then_:(fun () -> st b dist v cand) ()));
+          fold_array b dist ~n:nodes))
+
+let () =
+  Workload.register ~suite:"spec" "spec-619" (fun size ->
+      (* lbm-flavored: 1-D lattice with 3 velocity components, stream +
+         collide in fixed point *)
+      let n = match size with Workload.Quick -> 48 | Full -> 256 in
+      program "spec-619"
+        ~globals:[ ("f0", n); ("f1", n); ("f2", n); ("g0", n); ("g1", n); ("g2", n) ]
+        ~body:(fun _m b ->
+          let f0 = Value.Glob "f0" and f1 = Value.Glob "f1" and f2 = Value.Glob "f2" in
+          let g0 = Value.Glob "g0" and g1 = Value.Glob "g1" and g2 = Value.Glob "g2" in
+          fill_lcg b f0 ~n ~seed:5;
+          fill_lcg b f1 ~n ~seed:7;
+          fill_lcg b f2 ~n ~seed:11;
+          B.for_ b ~from:(B.imm 0) ~bound:(B.imm 6) (fun _t ->
+              (* stream *)
+              B.for_ b ~from:(B.imm 1) ~bound:(B.imm (n - 1)) (fun i ->
+                  st b g0 i (ld b f0 i);
+                  st b g1 i (ld b f1 (B.sub b i (B.imm 1)));
+                  st b g2 i (ld b f2 (B.add b i (B.imm 1))));
+              (* collide toward local equilibrium *)
+              B.for_ b ~from:(B.imm 1) ~bound:(B.imm (n - 1)) (fun i ->
+                  let rho =
+                    B.add b (ld b g0 i) (B.add b (ld b g1 i) (ld b g2 i))
+                  in
+                  let eq = B.sdiv b rho (B.imm 3) in
+                  let relaxv cur =
+                    B.add b cur (B.ashr b (B.sub b eq cur) (B.imm 2))
+                  in
+                  st b f0 i (relaxv (ld b g0 i));
+                  st b f1 i (relaxv (ld b g1 i));
+                  st b f2 i (relaxv (ld b g2 i))));
+          combine b (fold_array b f1 ~n) (fold_array b f2 ~n)))
+
+let () =
+  Workload.register ~suite:"spec" "spec-631" (fun size ->
+      (* deepsjeng-flavored: alpha-beta negamax over a deterministic
+         synthetic game tree with hash-derived move scores *)
+      let depth = match size with Workload.Quick -> 5 | Full -> 8 in
+      let m = Modul.create () in
+      ignore (B.global_zero m "nodes" 4);
+      ignore
+        (B.define m "search" ~params:[ i32; i32; i32; i32 ]
+           ~ret:i32 (fun b ps ->
+             let state = List.nth ps 0
+             and depth_v = List.nth ps 1
+             and alpha = List.nth ps 2
+             and beta = List.nth ps 3 in
+             (* count nodes *)
+             st b (Value.Glob "nodes") (B.imm 0)
+               (B.add b (ld b (Value.Glob "nodes") (B.imm 0)) (B.imm 1));
+             let leaf = B.icmp b Instr.Eq depth_v (B.imm 0) in
+             B.if_ b leaf
+               ~then_:(fun () ->
+                 (* static eval: mix the state hash *)
+                 let h = B.mul b state (B.imm 0x9E3779B1) in
+                 let e = B.ashr b h (B.imm 20) in
+                 B.ret b (Some e))
+               ();
+             let best = B.var b i32 alpha in
+             let done_ = B.var b i32 (B.imm 0) in
+             B.for_ b ~from:(B.imm 0) ~bound:(B.imm 4) (fun mv ->
+                 let not_done = B.icmp b Instr.Eq (Value.Reg done_) (B.imm 0) in
+                 B.if_ b not_done
+                   ~then_:(fun () ->
+                     let child =
+                       B.add b (B.mul b state (B.imm 31)) (B.add b mv (B.imm 1))
+                     in
+                     let nalpha = B.sub b (B.imm 0) beta in
+                     let nbeta = B.sub b (B.imm 0) (Value.Reg best) in
+                     let sc =
+                       B.callv b "search"
+                         [ child; B.sub b depth_v (B.imm 1); nalpha; nbeta ]
+                     in
+                     let score = B.sub b (B.imm 0) sc in
+                     let improved = B.icmp b Instr.Sgt score (Value.Reg best) in
+                     B.if_ b improved
+                       ~then_:(fun () -> B.set b i32 best score)
+                       ();
+                     let cutoff = B.icmp b Instr.Sge (Value.Reg best) beta in
+                     B.if_ b cutoff
+                       ~then_:(fun () -> B.set b i32 done_ (B.imm 1))
+                       ())
+                   ());
+             B.ret b (Some (Value.Reg best))));
+      ignore
+        (B.define m "main" ~params:[] ~ret:i32 (fun b _ ->
+             let score =
+               B.callv b "search"
+                 [ B.imm 1; B.imm depth; B.imm (-0x40000000); B.imm 0x40000000 ]
+             in
+             let nodes = ld b (Value.Glob "nodes") (B.imm 0) in
+             B.ret b (Some (combine b score nodes))));
+      m)
+
+let registered = true

@@ -1,0 +1,26 @@
+(** The assembled 58-program suite.  Referencing each program module
+    forces its registrations to link. *)
+
+let _force_linkage =
+  (Polybench.n_of, Npb.dim, Spec.registered, Crypto.iters, Misc.registered)
+
+(** Assert the suite matches the paper's composition. *)
+let check_composition () =
+  let count suite = List.length (Workload.by_suite suite) in
+  let total = List.length (Workload.all ()) in
+  let expect name got want =
+    if got <> want then
+      failwith (Printf.sprintf "suite %s: %d programs, expected %d" name got want)
+  in
+  expect "polybench" (count "polybench") 30;
+  expect "npb" (count "npb") 8;
+  expect "spec" (count "spec") 3;
+  expect "a16z" (count "a16z") 3;
+  expect "succinct" (count "succinct") 4;
+  expect "rsp" (count "rsp") 1;
+  expect "misc" (count "misc") 9;
+  expect "total" total 58
+
+let all () =
+  check_composition ();
+  Workload.all ()

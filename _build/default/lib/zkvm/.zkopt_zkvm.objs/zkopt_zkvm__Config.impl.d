@@ -1,0 +1,1 @@
+lib/zkvm/config.ml: Isa List String Zkopt_riscv

@@ -1,0 +1,1 @@
+lib/zkvm/executor.ml: Codegen Config Emulator Hashtbl Int32 Isa List Modul Zkopt_ir Zkopt_riscv

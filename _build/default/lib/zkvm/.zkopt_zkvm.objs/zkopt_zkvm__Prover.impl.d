@@ -1,0 +1,1 @@
+lib/zkvm/prover.ml: Config Executor List

@@ -1,0 +1,1 @@
+lib/zkvm/vm.ml: Codegen Config Executor Modul Prover Zkopt_ir Zkopt_riscv

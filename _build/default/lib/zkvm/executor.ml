@@ -1,0 +1,162 @@
+(** The zkVM executor: replays a guest binary while accounting cycles,
+    paging events and segmentation under a {!Config.t}.
+
+    Paging model (RISC Zero-style, parameterized): guest memory is split
+    into [page_bytes] pages.  Within a segment, the first touch of a page
+    charges [page_in_cost]; at segment close, every dirtied page charges
+    [page_out_cost] and the touched-set resets (the next segment must
+    page everything in again).  Instruction fetch touches the code page.
+
+    The optional [fault] injects the silent-halt soundness bug the paper
+    found in SP1 (§4.2): when a segment boundary lands exactly on an
+    indirect jump, the executor stops mid-run but still reports success —
+    the differential oracle in [examples/differential_oracle.ml] and the
+    [sp1bug] bench catch it. *)
+
+open Zkopt_ir
+open Zkopt_riscv
+
+type fault = No_fault | Silent_halt_on_boundary_jalr
+
+type segment = {
+  user_cycles : int;
+  paging_cycles : int;
+}
+
+type result = {
+  exit_value : int32;
+  total_cycles : int;
+  user_cycles : int;
+  paging_cycles : int;
+  page_ins : int;
+  page_outs : int;
+  segments : segment list;        (* in execution order *)
+  retired : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  precompile_calls : int;
+  faulted : bool;                 (* the injected bug fired *)
+}
+
+type state = {
+  cfg : Config.t;
+  mutable user : int;             (* user cycles, current segment *)
+  mutable paging : int;           (* paging cycles, current segment *)
+  mutable total_user : int;
+  mutable total_paging : int;
+  mutable page_ins : int;
+  mutable page_outs : int;
+  mutable segs : segment list;
+  touched : (int, unit) Hashtbl.t;
+  dirty : (int, unit) Hashtbl.t;
+  mutable loads : int;
+  mutable stores : int;
+  mutable branches : int;
+  mutable precompiles : int;
+  mutable faulted : bool;
+}
+
+let touch st ~write addr =
+  let page = Int32.to_int addr land 0xFFFF_FFFF / st.cfg.Config.page_bytes in
+  if not (Hashtbl.mem st.touched page) then begin
+    Hashtbl.replace st.touched page ();
+    st.paging <- st.paging + st.cfg.Config.page_in_cost;
+    st.page_ins <- st.page_ins + 1
+  end;
+  if write && not (Hashtbl.mem st.dirty page) then Hashtbl.replace st.dirty page ()
+
+let close_segment st =
+  let outs = Hashtbl.length st.dirty in
+  st.paging <- st.paging + (outs * st.cfg.Config.page_out_cost);
+  st.page_outs <- st.page_outs + outs;
+  st.segs <- { user_cycles = st.user; paging_cycles = st.paging } :: st.segs;
+  st.total_user <- st.total_user + st.user;
+  st.total_paging <- st.total_paging + st.paging;
+  st.user <- 0;
+  st.paging <- 0;
+  Hashtbl.reset st.touched;
+  Hashtbl.reset st.dirty
+
+(** Execute module [m] (already compiled to [cg]) under configuration
+    [cfg]. *)
+let run ?(fault = No_fault) ?(fuel = 500_000_000) (cfg : Config.t)
+    (cg : Codegen.t) (m : Modul.t) : result =
+  let st =
+    {
+      cfg;
+      user = 0;
+      paging = 0;
+      total_user = 0;
+      total_paging = 0;
+      page_ins = 0;
+      page_outs = 0;
+      segs = [];
+      touched = Hashtbl.create 64;
+      dirty = Hashtbl.create 64;
+      loads = 0;
+      stores = 0;
+      branches = 0;
+      precompiles = 0;
+      faulted = false;
+    }
+  in
+  let hooks = Emulator.no_hooks () in
+  let boundary_pending = ref false in
+  hooks.on_instr <-
+    (fun ~pc ins ->
+      touch st ~write:false pc;
+      st.user <- st.user + Config.instr_cost cfg ins;
+      (match ins with
+      | Isa.Load _ -> st.loads <- st.loads + 1
+      | Isa.Store _ -> st.stores <- st.stores + 1
+      | Isa.Branch _ | Jal _ | Jalr _ -> st.branches <- st.branches + 1
+      | _ -> ());
+      if st.user >= cfg.Config.segment_limit then begin
+        boundary_pending := true;
+        match (fault, ins) with
+        | Silent_halt_on_boundary_jalr, Isa.Jalr _ ->
+          (* the shard boundary landed on an indirect jump (a function
+             return): the buggy executor drops the rest of the execution
+             on the floor yet still emits a provable, verifying trace *)
+          st.faulted <- true
+        | _ -> ()
+      end);
+  hooks.on_mem <- (fun ~write addr _bytes -> touch st ~write addr);
+  hooks.on_precompile <-
+    (fun name ->
+      st.precompiles <- st.precompiles + 1;
+      st.user <- st.user + Config.precompile_cost cfg name);
+  let emu = Emulator.create ~hooks cg.Codegen.program m in
+  let budget = ref fuel in
+  while (not emu.Emulator.halted) && not st.faulted do
+    if !budget <= 0 then raise (Emulator.Trap "zkVM executor: out of fuel");
+    decr budget;
+    Emulator.step emu;
+    if !boundary_pending && not st.faulted then begin
+      boundary_pending := false;
+      close_segment st
+    end
+  done;
+  close_segment st;
+  {
+    exit_value = emu.Emulator.exit_value;
+    total_cycles = st.total_user + st.total_paging;
+    user_cycles = st.total_user;
+    paging_cycles = st.total_paging;
+    page_ins = st.page_ins;
+    page_outs = st.page_outs;
+    segments = List.rev st.segs;
+    retired = emu.Emulator.retired;
+    loads = st.loads;
+    stores = st.stores;
+    branches = st.branches;
+    precompile_calls = st.precompiles;
+    faulted = st.faulted;
+  }
+
+(** Simulated executor wall-clock time in seconds. *)
+let exec_time_s (cfg : Config.t) (r : result) =
+  ((float_of_int r.total_cycles *. cfg.Config.exec_ns_per_cycle)
+  +. cfg.Config.exec_overhead_ns)
+  *. 1e-9

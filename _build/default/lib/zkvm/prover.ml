@@ -1,0 +1,53 @@
+(** Analytic STARK prover-time model.
+
+    Each segment's execution trace is padded to a power of two; proving a
+    segment costs [ns_per_cycle * padded * log2(padded)] (the FFT/LDE and
+    commitment work scale as N log N) plus a fixed per-segment overhead
+    covering setup and the recursion/aggregation step that folds the
+    segment proof into the final one.  More segments therefore cost
+    disproportionally more — the mechanism behind the paper's regex-match
+    regression on SP1 (Fig. 13 discussion: 20 shards instead of 16). *)
+
+type result = {
+  time_s : float;
+  segments : int;
+  padded_cycles_total : int;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let log2f n = log (float_of_int n) /. log 2.0
+
+let prove (cfg : Config.t) (exec : Executor.result) : result =
+  let min_cycles = 1 lsl cfg.Config.min_po2 in
+  let segment_time (s : Executor.segment) =
+    let actual = s.Executor.user_cycles + s.paging_cycles in
+    let cycles = max min_cycles actual in
+    let padded = next_pow2 cycles in
+    ( padded,
+      (float_of_int padded *. log2f padded *. cfg.Config.prove_ns_per_cycle)
+      +. (float_of_int actual *. cfg.Config.prove_witgen_ns_per_cycle)
+      +. cfg.Config.prove_segment_overhead_ns )
+  in
+  let padded_total, ns =
+    List.fold_left
+      (fun (p, t) s ->
+        let padded, time = segment_time s in
+        (p + padded, t +. time))
+      (0, 0.0) exec.Executor.segments
+  in
+  { time_s = ns *. 1e-9; segments = List.length exec.Executor.segments;
+    padded_cycles_total = padded_total }
+
+(** Simulated verification: checks the (modelled) proof's claimed exit
+    value.  Deliberately mirrors the soundness gap of the injected SP1
+    bug — a proof produced by a silently-halted execution still verifies,
+    because the verifier sees a well-formed trace that ends in a halt. *)
+let verify (_cfg : Config.t) (exec : Executor.result) (_p : result) : bool =
+  (* A real verifier checks trace constraints; our model has no way to be
+     unsound except via the injected fault, which by construction yields
+     a "valid" truncated trace. *)
+  ignore exec;
+  true

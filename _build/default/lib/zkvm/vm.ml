@@ -1,0 +1,37 @@
+(** Convenience front door: compile once, execute + prove on a zkVM
+    configuration, and collect the paper's three metrics (cycle count,
+    executor wall time, proving wall time). *)
+
+open Zkopt_ir
+open Zkopt_riscv
+
+type metrics = {
+  vm : string;
+  cycles : int;
+  exec_time_s : float;
+  prove_time_s : float;
+  segments : int;
+  paging_cycles : int;
+  exit_value : int32;
+  exec : Executor.result;
+}
+
+let measure ?fault ?fuel (cfg : Config.t) (cg : Codegen.t)
+    (m : Modul.t) : metrics =
+  let exec = Executor.run ?fault ?fuel cfg cg m in
+  let prove = Prover.prove cfg exec in
+  {
+    vm = cfg.Config.name;
+    cycles = exec.Executor.total_cycles;
+    exec_time_s = Executor.exec_time_s cfg exec;
+    prove_time_s = prove.Prover.time_s;
+    segments = prove.Prover.segments;
+    paging_cycles = exec.Executor.paging_cycles;
+    exit_value = exec.Executor.exit_value;
+    exec;
+  }
+
+(** Compile [m] and measure it on [cfg]. *)
+let compile_and_measure ?fault ?fuel (cfg : Config.t) (m : Modul.t) : metrics =
+  let cg = Codegen.compile m in
+  measure ?fault ?fuel cfg cg m

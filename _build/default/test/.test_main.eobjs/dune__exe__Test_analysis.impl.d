@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Builder Callgraph Cfg Defs Dom Instr Intset List Liveness Loops Modul String Ty Value Zkopt_analysis Zkopt_autotune Zkopt_ir Zkopt_stats

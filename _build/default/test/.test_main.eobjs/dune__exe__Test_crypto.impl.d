@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Extern Hashtbl Int32 Int64 List Option Printf Zkopt_ir Zkopt_riscv

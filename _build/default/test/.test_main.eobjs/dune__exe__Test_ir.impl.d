@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Astring_contains Block Builder Eval Func Instr Int64 Interp List Memory Modul Printer Ty Value Verify Zkopt_ir

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_analysis Test_crypto Test_infra Test_ir Test_passes Test_riscv Test_workloads Test_zkvm

@@ -1,0 +1,1 @@
+test/test_riscv.ml: Alcotest Asm Builder Codegen Emulator Eval Hashtbl Instr Int64 Interp Isa List Modul Ty Value Verify Zkopt_ir Zkopt_riscv

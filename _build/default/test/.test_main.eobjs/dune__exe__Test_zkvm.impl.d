@@ -1,0 +1,1 @@
+test/test_zkvm.ml: Alcotest Builder Instr Int32 Measure Modul Profile Ty Value Zkopt_core Zkopt_cpu Zkopt_ir Zkopt_workloads Zkopt_zkvm

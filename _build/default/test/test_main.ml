@@ -1,0 +1,12 @@
+let () =
+  Alcotest.run "zkopt"
+    [
+      ("ir", Test_ir.tests);
+      ("analysis", Test_analysis.tests);
+      ("riscv", Test_riscv.tests);
+      ("passes", Test_passes.tests);
+      ("zkvm", Test_zkvm.tests);
+      ("crypto", Test_crypto.tests);
+      ("infra", Test_infra.tests);
+      ("workloads", Test_workloads.tests);
+    ]
