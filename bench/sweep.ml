@@ -1,10 +1,17 @@
 (** The shared measurement sweep: 58 programs x 71 profiles x 2 zkVMs,
     plus the CPU model for the baseline and single-pass profiles (RQ3).
-    Results are computed once and shared by every RQ1/RQ2/RQ3 block. *)
+    Results are computed once and shared by every RQ1/RQ2/RQ3 block.
+
+    The sweep itself runs on the fault-tolerant harness ([lib/harness]):
+    a cell that miscompiles, traps, or fails an accounting oracle is
+    quarantined with a typed error instead of aborting the remaining
+    ~8,000 cells, fuel exhaustion retries with an escalating budget, and
+    an optional checkpoint file makes a killed sweep resumable. *)
 
 open Zkopt_core
+module Harness = Zkopt_harness.Harness
 
-type point = {
+type point = Zkopt_harness.Cell.point = {
   program : string;
   suite : string;
   profile : string;
@@ -17,58 +24,38 @@ type t = {
   points : (string * string, point) Hashtbl.t; (* (program, profile) *)
   programs : Zkopt_workloads.Workload.t list;
   size : Zkopt_workloads.Workload.size;
+  quarantined : Zkopt_harness.Error.t list;
 }
 
 let profile_names = List.map Profile.name Profile.all_71
 
-let measure_one ~size ~with_cpu (w : Zkopt_workloads.Workload.t) profile =
-  let build () = w.Zkopt_workloads.Workload.build size in
-  let c = Measure.prepare ~build profile in
-  let r0 = Measure.run_zkvm Zkopt_zkvm.Config.risc0 c in
-  let sp1 = Measure.run_zkvm Zkopt_zkvm.Config.sp1 c in
-  let cpu = if with_cpu then Some (Measure.run_cpu c) else None in
+(** Run the full sweep.  [checkpoint] streams completed points to an
+    append-only file and (unless [resume] is false) skips cells already
+    recorded there, so an interrupted campaign continues where it
+    stopped.  Failed cells land in [quarantined]; more than
+    [failure_budget] of them aborts with {!Harness.Budget_exceeded}. *)
+let run ?(progress = true) ?checkpoint ?(resume = true)
+    ?(faultplan = Zkopt_harness.Faultplan.none) ?(failure_budget = 32) ~size
+    () : t =
+  let cfg =
+    {
+      (Harness.default ~size) with
+      Harness.progress;
+      checkpoint;
+      resume;
+      faultplan;
+      failure_budget;
+    }
+  in
+  let o = Harness.run cfg in
+  if progress && o.Harness.quarantined <> [] then
+    Printf.eprintf "%s\n%!" (Harness.quarantine_report o.Harness.quarantined);
   {
-    program = w.Zkopt_workloads.Workload.name;
-    suite = w.Zkopt_workloads.Workload.suite;
-    profile = Profile.name profile;
-    r0;
-    sp1;
-    cpu;
+    points = o.Harness.points;
+    programs = o.Harness.programs;
+    size;
+    quarantined = o.Harness.quarantined;
   }
-
-let run ?(progress = true) ~size () : t =
-  let programs = Zkopt_workloads.Suite.all () in
-  let points = Hashtbl.create 4096 in
-  let total = List.length programs * List.length Profile.all_71 in
-  let done_ = ref 0 in
-  List.iter
-    (fun w ->
-      List.iter
-        (fun profile ->
-          let with_cpu =
-            match profile with
-            | Profile.Baseline | Profile.Single_pass _ -> true
-            | _ -> false
-          in
-          let p = measure_one ~size ~with_cpu w profile in
-          (* cross-check: optimized binaries must preserve the checksum *)
-          let base_key = (p.program, "baseline") in
-          (match Hashtbl.find_opt points base_key with
-          | Some base
-            when not
-                   (Int64.equal base.r0.Measure.exit_value
-                      p.r0.Measure.exit_value) ->
-            failwith
-              (Printf.sprintf "MISCOMPILE: %s under %s changed its checksum"
-                 p.program p.profile)
-          | _ -> ());
-          Hashtbl.replace points (p.program, p.profile) p;
-          incr done_;
-          if progress && !done_ mod 200 = 0 then
-            Printf.eprintf "  sweep: %d/%d\n%!" !done_ total)
-        Profile.all_71)
-    programs;
-  { points; programs; size }
 
 let get t program profile = Hashtbl.find t.points (program, profile)
 

@@ -6,6 +6,9 @@
     zkbench run fibonacci -O3            # measure one program
     zkbench run npb-lu --pass licm       # one pass vs baseline
     zkbench sweep --program fibonacci    # all 71 profiles on one program
+    zkbench sweepall --quick --checkpoint sweep.ckpt
+                                         # fault-tolerant full-matrix sweep;
+                                         # re-run the same command to resume
     zkbench autotune npb-mg --iters 80   # GA pass-sequence search
     zkbench asm fibonacci -O3            # dump the RV32 assembly
     v} *)
@@ -125,6 +128,70 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Run all 71 profiles on one program")
     Term.(const run $ prog_arg $ quick_arg)
 
+let sweepall_cmd =
+  let ckpt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Stream completed cells to an append-only checkpoint file; \
+                   rerunning with the same file resumes the sweep")
+  in
+  let fresh_arg =
+    Arg.(value & flag
+         & info [ "fresh" ]
+             ~doc:"Ignore an existing checkpoint (default is to resume)")
+  in
+  let budget_arg =
+    Arg.(value & opt int 32
+         & info [ "failure-budget" ] ~docv:"N"
+             ~doc:"Quarantined cells tolerated before aborting")
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Measure at most N new cells then stop (the checkpoint \
+                   keeps the rest resumable)")
+  in
+  let run quick ckpt fresh budget limit =
+    let module H = Zkopt_harness.Harness in
+    let size = size_of_quick quick in
+    let cfg =
+      {
+        (H.default ~size) with
+        H.progress = true;
+        checkpoint = ckpt;
+        resume = not fresh;
+        failure_budget = budget;
+        limit;
+      }
+    in
+    match H.run cfg with
+    | o ->
+      Printf.printf
+        "sweep: %d points (%d resumed from checkpoint, %d measured now, %d \
+         fuel retries)\n"
+        (Hashtbl.length o.H.points) o.H.resumed o.H.executed o.H.retries;
+      List.iter
+        (fun ((c : Zkopt_harness.Error.coord), msg) ->
+          Printf.printf "degraded: %s/%s: CPU model failed (%s); zkVM \
+                         metrics kept\n"
+            c.Zkopt_harness.Error.program c.Zkopt_harness.Error.profile msg)
+        o.H.degraded;
+      print_endline (H.quarantine_report o.H.quarantined);
+      if not o.H.completed then
+        Printf.printf
+          "stopped at --limit; rerun the same command to resume from the \
+           checkpoint\n"
+    | exception H.Budget_exceeded errs ->
+      Printf.eprintf "sweep aborted: failure budget exceeded\n%s\n"
+        (H.quarantine_report errs);
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "sweepall"
+       ~doc:"Fault-tolerant full-matrix sweep (all programs x all profiles) \
+             with quarantine, retry, and checkpoint/resume")
+    Term.(const run $ quick_arg $ ckpt_arg $ fresh_arg $ budget_arg $ limit_arg)
+
 let autotune_cmd =
   let iters_arg =
     Arg.(value & opt int 80 & info [ "iters" ] ~doc:"GA evaluations")
@@ -178,4 +245,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; passes_cmd; run_cmd; sweep_cmd; autotune_cmd; asm_cmd ]))
+          [ list_cmd; passes_cmd; run_cmd; sweep_cmd; sweepall_cmd;
+            autotune_cmd; asm_cmd ]))

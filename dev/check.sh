@@ -1,0 +1,27 @@
+#!/bin/sh
+# CI / pre-push check: build, full test suite, then short seeded smoke
+# runs of the differential fuzzers (the same properties run in
+# `dune runtest` with smaller budgets; these catch linkage/CLI rot).
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== fuzz smoke (25 seeds) =="
+dune exec dev/fuzz.exe -- 25
+
+echo "== passfuzz smoke (3 seeds) =="
+dune exec dev/passfuzz.exe -- 3
+
+echo "== sweepall resume smoke =="
+ckpt=$(mktemp /tmp/zkopt-check-XXXXXX.ckpt)
+rm -f "$ckpt"
+dune exec bin/zkbench.exe -- sweepall --quick --limit 3 --checkpoint "$ckpt" > /dev/null
+dune exec bin/zkbench.exe -- sweepall --quick --limit 3 --checkpoint "$ckpt"
+rm -f "$ckpt"
+
+echo "check.sh: all green"

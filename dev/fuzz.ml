@@ -1,7 +1,8 @@
 open Zkopt_ir
 let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1500 in
   let bad = ref 0 in
-  for seed = 1 to 1500 do
+  for seed = 1 to n do
     let m = Randprog.generate ~seed () in
     Zkopt_runtime.Runtime.link m;
     (try Verify.check m with Verify.Ill_formed msg ->

@@ -56,4 +56,21 @@ let () =
   else
     print_endline
       "\nno sequence aligned a shard boundary with a return this time —\n\
-       the bug needs specific alignment, exactly as in the paper."
+       the bug needs specific alignment, exactly as in the paper.";
+  (* ---- the generalized fault family (lib/harness) ------------------- *)
+  (* Accounting bugs don't change the checksum, so the checksum oracle
+     is blind to them; the harness's conservation oracles catch them
+     instead: paging cycles must reconcile with page events, and the
+     per-segment trace must sum to the reported totals. *)
+  print_endline "\ngeneralized faults vs the accounting oracles:";
+  let c = Measure.prepare ~build Profile.Baseline in
+  List.iter
+    (fun (name, fault) ->
+      let raw = Measure.run_zkvm_raw ?fault Zkopt_zkvm.Config.risc0 c in
+      match Zkopt_harness.Cell.check_accounting Zkopt_zkvm.Config.risc0 raw with
+      | Ok () -> Printf.printf "  %-24s accounting reconciles\n" name
+      | Error msg -> Printf.printf "  %-24s CAUGHT: %s\n" name msg)
+    [ ("healthy", None);
+      ("dropped-page-out", Some Zkopt_zkvm.Executor.Dropped_page_out);
+      ("truncated-final-segment",
+       Some Zkopt_zkvm.Executor.Truncated_final_segment) ]

@@ -53,8 +53,14 @@ let prepare ?(verify = true) ~(build : unit -> Modul.t) (profile : Profile.t) :
   in
   { modul = m; codegen; static_instrs }
 
-let run_zkvm ?fault ?fuel (cfg : Zkopt_zkvm.Config.t) (c : compiled) : zk_metrics =
-  let r = Zkopt_zkvm.Vm.measure ?fault ?fuel cfg c.codegen c.modul in
+(** Raw measurement: like {!run_zkvm} but returns the full {!Zkopt_zkvm.Vm}
+    result (including the per-segment executor trace), which the harness's
+    accounting oracles need. *)
+let run_zkvm_raw ?fault ?fuel (cfg : Zkopt_zkvm.Config.t) (c : compiled) :
+    Zkopt_zkvm.Vm.metrics =
+  Zkopt_zkvm.Vm.measure ?fault ?fuel cfg c.codegen c.modul
+
+let zk_of_vm (r : Zkopt_zkvm.Vm.metrics) : zk_metrics =
   let e = r.Zkopt_zkvm.Vm.exec in
   {
     vm = r.Zkopt_zkvm.Vm.vm;
@@ -69,6 +75,9 @@ let run_zkvm ?fault ?fuel (cfg : Zkopt_zkvm.Config.t) (c : compiled) : zk_metric
     stores = e.Zkopt_zkvm.Executor.stores;
     exit_value = Eval.norm32 (Int64.of_int32 r.Zkopt_zkvm.Vm.exit_value);
   }
+
+let run_zkvm ?fault ?fuel (cfg : Zkopt_zkvm.Config.t) (c : compiled) : zk_metrics =
+  zk_of_vm (run_zkvm_raw ?fault ?fuel cfg c)
 
 let run_cpu ?fuel (c : compiled) : cpu_metrics =
   let r = Zkopt_cpu.Timing.run ?fuel c.codegen c.modul in

@@ -140,7 +140,7 @@ let run ?(params = default_params) ?(fuel = 500_000_000)
   in
   let budget = ref fuel in
   while not emu.Emulator.halted do
-    if !budget <= 0 then raise (Emulator.Trap "CPU model: out of fuel");
+    if !budget <= 0 then raise (Emulator.Out_of_fuel fuel);
     decr budget;
     let pc = emu.Emulator.pc in
     let ins =

@@ -1,0 +1,158 @@
+(** Append-only checkpoint file for the sweep.
+
+    Completed points stream to disk one line each; a resumed sweep loads
+    the file, skips already-done cells, and appends the rest.  The codec
+    is an exact round trip — floats are written in hexadecimal ([%h])
+    notation — so a killed-and-resumed sweep reproduces the uninterrupted
+    run byte for byte.  Undecodable lines (e.g. a final line truncated by
+    a kill mid-write) are skipped on load, which makes resume safe after
+    a crash at any byte offset. *)
+
+open Zkopt_core
+
+let version = "zkopt-ckpt-v1"
+
+let encode_zk (z : Measure.zk_metrics) : string =
+  String.concat "\t"
+    [
+      z.Measure.vm;
+      string_of_int z.Measure.cycles;
+      Printf.sprintf "%h" z.Measure.exec_time_s;
+      Printf.sprintf "%h" z.Measure.prove_time_s;
+      string_of_int z.Measure.segments;
+      string_of_int z.Measure.paging_cycles;
+      string_of_int z.Measure.page_ins;
+      string_of_int z.Measure.page_outs;
+      string_of_int z.Measure.loads;
+      string_of_int z.Measure.stores;
+      Printf.sprintf "%Lx" z.Measure.exit_value;
+    ]
+
+let encode_cpu (c : Measure.cpu_metrics) : string =
+  String.concat "\t"
+    [
+      Printf.sprintf "%h" c.Measure.cpu_cycles;
+      Printf.sprintf "%h" c.Measure.cpu_time_s;
+      string_of_int c.Measure.mispredicts;
+      string_of_int c.Measure.cache_misses;
+      Printf.sprintf "%Lx" c.Measure.cpu_exit_value;
+    ]
+
+let encode_point (p : Cell.point) : string =
+  String.concat "\t"
+    ([ p.Cell.program; p.Cell.suite; p.Cell.profile ]
+    @ [ encode_zk p.Cell.r0; encode_zk p.Cell.sp1 ]
+    @ [
+        (match p.Cell.cpu with
+        | None -> "-"
+        | Some c -> "cpu\t" ^ encode_cpu c);
+      ])
+
+(* field counts: 3 header + 11 per zk + 1 "-" | 1 "cpu" + 5 *)
+
+let decode_zk fields =
+  match fields with
+  | [ vm; cycles; exec; prove; segs; paging; pins; pouts; loads; stores; ev ]
+    ->
+    Some
+      {
+        Measure.vm;
+        cycles = int_of_string cycles;
+        exec_time_s = float_of_string exec;
+        prove_time_s = float_of_string prove;
+        segments = int_of_string segs;
+        paging_cycles = int_of_string paging;
+        page_ins = int_of_string pins;
+        page_outs = int_of_string pouts;
+        loads = int_of_string loads;
+        stores = int_of_string stores;
+        exit_value = Int64.of_string ("0x" ^ ev);
+      }
+  | _ -> None
+
+let decode_cpu fields =
+  match fields with
+  | [ cycles; time; mis; misses; ev ] ->
+    Some
+      {
+        Measure.cpu_cycles = float_of_string cycles;
+        cpu_time_s = float_of_string time;
+        mispredicts = int_of_string mis;
+        cache_misses = int_of_string misses;
+        cpu_exit_value = Int64.of_string ("0x" ^ ev);
+      }
+  | _ -> None
+
+let rec take n = function
+  | [] -> []
+  | _ when n = 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let rec drop n l =
+  if n = 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+let decode_point (line : string) : Cell.point option =
+  match String.split_on_char '\t' line with
+  | program :: suite :: profile :: rest when List.length rest >= 23 -> (
+    try
+      let r0 = decode_zk (take 11 rest) in
+      let sp1 = decode_zk (take 11 (drop 11 rest)) in
+      let cpu =
+        match drop 22 rest with
+        | [ "-" ] -> Some None
+        | "cpu" :: cpu_fields -> Option.map Option.some (decode_cpu cpu_fields)
+        | _ -> None
+      in
+      match (r0, sp1, cpu) with
+      | Some r0, Some sp1, Some cpu ->
+        Some { Cell.program; suite; profile; r0; sp1; cpu }
+      | _ -> None
+    with _ -> None)
+  | _ -> None
+
+(** Load every decodable point from [path]; missing file = no points.
+    Corrupt or truncated lines are skipped, not fatal. *)
+let load (path : string) : Cell.point list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let points = ref [] in
+    (try
+       while true do
+         let line = input_line ic in
+         match decode_point line with
+         | Some p -> points := p :: !points
+         | None -> () (* header, garbage, or a line truncated by a kill *)
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !points
+  end
+
+type writer = {
+  oc : out_channel;
+  every : int;  (** flush to disk every [every] appended points *)
+  mutable pending : int;
+}
+
+let create ?(every = 25) (path : string) : writer =
+  let existed = Sys.file_exists path in
+  let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+  if not existed then begin
+    output_string oc (version ^ "\n");
+    flush oc
+  end;
+  { oc; every; pending = 0 }
+
+let append (w : writer) (p : Cell.point) =
+  output_string w.oc (encode_point p);
+  output_char w.oc '\n';
+  w.pending <- w.pending + 1;
+  if w.pending >= w.every then begin
+    flush w.oc;
+    w.pending <- 0
+  end
+
+let close (w : writer) =
+  flush w.oc;
+  close_out w.oc

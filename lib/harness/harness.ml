@@ -1,0 +1,269 @@
+(** The fault-tolerant sweep engine.
+
+    Turns the 58-program x 71-profile x 2-zkVM measurement campaign into
+    a resumable job engine:
+
+    - every cell runs under an exception barrier ({!Cell.protect}) and
+      either yields a point or lands in a quarantine list with a typed
+      {!Error.t} — one miscompile no longer kills the remaining ~8,000
+      cells;
+    - fuel exhaustion retries with an escalating budget ({!Retry});
+      deterministic faults do not retry;
+    - two oracles guard every measured cell: the differential checksum
+      oracle (risc0-vs-sp1 within the cell, and profile-vs-baseline
+      across cells) and the accounting conservation oracle
+      ({!Cell.check_accounting});
+    - completed points stream to an append-only checkpoint file and a
+      resumed run skips already-done cells ({!Checkpoint});
+    - a per-sweep failure budget bounds degradation: exceed it and the
+      sweep aborts with a summary ({!Budget_exceeded});
+    - graceful degradation: a CPU-model failure downgrades the cell to
+      zkVM-only metrics instead of discarding it. *)
+
+open Zkopt_core
+
+type config = {
+  size : Zkopt_workloads.Workload.size;
+  programs : string list option;  (** [None] = the full 58-program suite *)
+  profiles : Profile.t list option;  (** [None] = all 71 profiles *)
+  failure_budget : int;
+      (** quarantined cells tolerated before the sweep aborts *)
+  checkpoint : string option;  (** append-only checkpoint file *)
+  resume : bool;  (** load already-done cells from [checkpoint] *)
+  checkpoint_every : int;  (** flush cadence, in cells *)
+  retry : Retry.policy;
+  faultplan : Faultplan.t;  (** injected faults (testing) *)
+  progress : bool;
+  limit : int option;
+      (** measure at most this many new cells, then stop gracefully
+          (time-slicing; the checkpoint keeps the rest resumable) *)
+}
+
+let default ~size =
+  {
+    size;
+    programs = None;
+    profiles = None;
+    failure_budget = 32;
+    checkpoint = None;
+    resume = true;
+    checkpoint_every = 25;
+    retry = Retry.default;
+    faultplan = Faultplan.none;
+    progress = false;
+    limit = None;
+  }
+
+type outcome = {
+  points : (string * string, Cell.point) Hashtbl.t;  (** (program, profile) *)
+  programs : Zkopt_workloads.Workload.t list;
+  quarantined : Error.t list;  (** failed cells, in discovery order *)
+  degraded : (Error.coord * string) list;
+      (** cells kept with partial metrics *)
+  executed : int;  (** cells measured by this invocation *)
+  resumed : int;  (** cells loaded from the checkpoint *)
+  retries : int;  (** extra attempts spent on fuel escalation *)
+  completed : bool;  (** false when stopped by [limit] *)
+}
+
+let quarantine_report (errs : Error.t list) : string =
+  match errs with
+  | [] -> "quarantine: empty (all cells healthy)"
+  | errs ->
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Error.t) ->
+        let k = Error.kind_name e.Error.kind in
+        Hashtbl.replace counts k
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+      errs;
+    let summary =
+      Hashtbl.fold (fun k n acc -> Printf.sprintf "%s=%d" k n :: acc) counts []
+      |> List.sort compare |> String.concat ", "
+    in
+    Printf.sprintf "quarantine: %d cell(s) (%s)\n%s" (List.length errs)
+      summary
+      (String.concat "\n"
+         (List.map (fun e -> "  " ^ Error.to_string e) errs))
+
+exception Budget_exceeded of Error.t list
+
+(** Measure one cell under the harness policies.  Returns the point, the
+    attempts consumed, and an optional degradation note (CPU model
+    failed; zkVM metrics kept). *)
+let measure_cell (cfg : config) (w : Zkopt_workloads.Workload.t)
+    (profile : Profile.t) : Cell.point * int * string option =
+  let pname = Profile.name profile in
+  let build () = w.Zkopt_workloads.Workload.build cfg.size in
+  let with_cpu =
+    match profile with
+    | Profile.Baseline | Profile.Single_pass _ -> true
+    | _ -> false
+  in
+  let (point, degraded), attempts =
+    Retry.run cfg.retry (fun ~fuel ->
+        let c = Measure.prepare ~build profile in
+        let zk vm vmcfg =
+          try
+            let fault =
+              Faultplan.executor_fault cfg.faultplan ~program:w.name
+                ~profile:pname ~vm
+            in
+            let raw = Measure.run_zkvm_raw ?fault ~fuel vmcfg c in
+            (match Cell.check_accounting vmcfg raw with
+            | Ok () -> ()
+            | Error msg -> raise (Error.Accounting msg));
+            Measure.zk_of_vm raw
+          with e -> raise (Error.In_vm (vm, e))
+        in
+        let r0 = zk "risc0" Zkopt_zkvm.Config.risc0 in
+        let sp1 = zk "sp1" Zkopt_zkvm.Config.sp1 in
+        let cpu, degraded =
+          if not with_cpu then (None, None)
+          else
+            match Measure.run_cpu ~fuel c with
+            | m -> (Some m, None)
+            | exception Zkopt_riscv.Emulator.Out_of_fuel f ->
+              (* transient: let the retry policy escalate the budget *)
+              raise (Error.In_vm ("cpu", Zkopt_riscv.Emulator.Out_of_fuel f))
+            | exception e ->
+              (* deterministic CPU-model failure: degrade gracefully and
+                 keep the zkVM metrics rather than losing the cell *)
+              (None, Some (Printexc.to_string e))
+        in
+        ( {
+            Cell.program = w.Zkopt_workloads.Workload.name;
+            suite = w.Zkopt_workloads.Workload.suite;
+            profile = pname;
+            r0;
+            sp1;
+            cpu;
+          },
+          degraded ))
+  in
+  (point, attempts, degraded)
+
+let run (cfg : config) : outcome =
+  let all = Zkopt_workloads.Suite.all () in
+  let programs =
+    match cfg.programs with
+    | None -> all
+    | Some names -> List.map Zkopt_workloads.Workload.find names
+  in
+  let profiles =
+    match cfg.profiles with None -> Profile.all_71 | Some ps -> ps
+  in
+  let points = Hashtbl.create 4096 in
+  let resumed = ref 0 in
+  (match cfg.checkpoint with
+  | Some path when cfg.resume ->
+    List.iter
+      (fun (p : Cell.point) ->
+        Hashtbl.replace points (p.Cell.program, p.Cell.profile) p;
+        incr resumed)
+      (Checkpoint.load path)
+  | _ -> ());
+  let writer =
+    Option.map (Checkpoint.create ~every:cfg.checkpoint_every) cfg.checkpoint
+  in
+  let quarantined = ref [] in
+  let degraded = ref [] in
+  let executed = ref 0 in
+  let retries = ref 0 in
+  let completed = ref true in
+  let total = List.length programs * List.length profiles in
+  let quarantine (err : Error.t) =
+    quarantined := err :: !quarantined;
+    if cfg.progress then
+      Printf.eprintf "  sweep: QUARANTINE %s\n%!" (Error.to_string err);
+    if List.length !quarantined > cfg.failure_budget then begin
+      Option.iter Checkpoint.close writer;
+      raise (Budget_exceeded (List.rev !quarantined))
+    end
+  in
+  (try
+     List.iter
+       (fun (w : Zkopt_workloads.Workload.t) ->
+         let wname = w.Zkopt_workloads.Workload.name in
+         List.iter
+           (fun profile ->
+             let pname = Profile.name profile in
+             let key = (wname, pname) in
+             if not (Hashtbl.mem points key) then begin
+               (match cfg.limit with
+               | Some n when !executed >= n ->
+                 completed := false;
+                 raise Exit
+               | _ -> ());
+               let coord =
+                 { Error.program = wname; profile = pname; vm = "-" }
+               in
+               (match Cell.protect ~coord (fun () -> measure_cell cfg w profile)
+                with
+               | Error err -> quarantine err
+               | Ok (p, attempts, deg) -> (
+                 retries := !retries + attempts - 1;
+                 Option.iter
+                   (fun d ->
+                     degraded :=
+                       ({ coord with Error.vm = "cpu" }, d) :: !degraded)
+                   deg;
+                 (* differential checksum oracles: the two zkVMs must
+                    agree within the cell, and every profile must
+                    preserve the program's baseline checksum *)
+                 if
+                   not
+                     (Int64.equal p.Cell.r0.Measure.exit_value
+                        p.Cell.sp1.Measure.exit_value)
+                 then
+                   quarantine
+                     {
+                       Error.coord = { coord with Error.vm = "sp1" };
+                       kind =
+                         Error.Miscompile
+                           {
+                             expected = p.Cell.r0.Measure.exit_value;
+                             got = p.Cell.sp1.Measure.exit_value;
+                             oracle = "risc0-vs-sp1";
+                           };
+                     }
+                 else
+                   match Hashtbl.find_opt points (wname, "baseline") with
+                   | Some (base : Cell.point)
+                     when (not (String.equal pname "baseline"))
+                          && not
+                               (Int64.equal base.Cell.r0.Measure.exit_value
+                                  p.Cell.r0.Measure.exit_value) ->
+                     quarantine
+                       {
+                         Error.coord = coord;
+                         kind =
+                           Error.Miscompile
+                             {
+                               expected = base.Cell.r0.Measure.exit_value;
+                               got = p.Cell.r0.Measure.exit_value;
+                               oracle = "baseline-differential";
+                             };
+                       }
+                   | _ ->
+                     Hashtbl.replace points key p;
+                     Option.iter (fun wr -> Checkpoint.append wr p) writer));
+               incr executed;
+               if cfg.progress && !executed mod 200 = 0 then
+                 Printf.eprintf "  sweep: %d/%d (this run: %d)\n%!"
+                   (Hashtbl.length points) total !executed
+             end)
+           profiles)
+       programs
+   with Exit -> ());
+  Option.iter Checkpoint.close writer;
+  {
+    points;
+    programs;
+    quarantined = List.rev !quarantined;
+    degraded = List.rev !degraded;
+    executed = !executed;
+    resumed = !resumed;
+    retries = !retries;
+    completed = !completed;
+  }

@@ -13,6 +13,12 @@ open Zkopt_ir
 
 exception Trap of string
 
+(** Raised when a bounded run exhausts its instruction budget; carries the
+    budget that was exhausted.  Distinct from {!Trap} so callers (retry
+    policies in particular) can tell fuel exhaustion apart from genuine
+    faults without string matching. *)
+exception Out_of_fuel of int
+
 type hooks = {
   mutable on_instr : pc:int32 -> Isa.t -> unit;
   mutable on_mem : write:bool -> int32 -> int -> unit;  (* addr, bytes *)
@@ -257,12 +263,12 @@ let step t =
     t.pc <- next);
   ()
 
-(** Run until halt, raising [Trap "out of fuel"] after [fuel] retired
+(** Run until halt, raising [Out_of_fuel fuel] after [fuel] retired
     instructions. *)
 let run ?(fuel = 500_000_000) t =
   let budget = ref fuel in
   while not t.halted do
-    if !budget <= 0 then raise (Trap "out of fuel");
+    if !budget <= 0 then raise (Out_of_fuel fuel);
     decr budget;
     step t
   done;

@@ -7,16 +7,37 @@
     [page_out_cost] and the touched-set resets (the next segment must
     page everything in again).  Instruction fetch touches the code page.
 
-    The optional [fault] injects the silent-halt soundness bug the paper
-    found in SP1 (§4.2): when a segment boundary lands exactly on an
-    indirect jump, the executor stops mid-run but still reports success —
-    the differential oracle in [examples/differential_oracle.ml] and the
-    [sp1bug] bench catch it. *)
+    The optional [fault] injects one of a family of executor soundness /
+    accounting bugs (see {!fault}).  [Silent_halt_on_boundary_jalr] is the
+    silent-halt soundness bug the paper found in SP1 (§4.2): when a
+    segment boundary lands exactly on an indirect jump, the executor
+    stops mid-run but still reports success — the differential oracle in
+    [examples/differential_oracle.ml] and the [sp1bug] bench catch it.
+    The other faults model the same *class* of bug (a wrong-but-verifying
+    trace) and are caught by the harness's accounting and checksum
+    oracles ([lib/harness]). *)
 
 open Zkopt_ir
 open Zkopt_riscv
 
-type fault = No_fault | Silent_halt_on_boundary_jalr
+type fault =
+  | No_fault
+  | Silent_halt_on_boundary_jalr
+      (** §4.2: a shard boundary on an indirect jump silently drops the
+          rest of the execution; checksum diverges. *)
+  | Dropped_page_out
+      (** Accounting bug: every other dirtied page's write-back cost is
+          dropped at segment close even though the page-out itself is
+          still counted — paging cycles no longer reconcile with the
+          page-event counts. *)
+  | Truncated_final_segment
+      (** The final segment's tail is dropped from the reported cycle
+          totals while the per-segment trace keeps the full count — the
+          totals no longer reconcile with the segment list (a bogus
+          "speedup"). *)
+  | Corrupt_exit_value
+      (** The journaled exit value is corrupted on halt — a direct
+          miscompile shape, caught by the checksum differential oracle. *)
 
 type segment = {
   user_cycles : int;
@@ -66,12 +87,21 @@ let touch st ~write addr =
   end;
   if write && not (Hashtbl.mem st.dirty page) then Hashtbl.replace st.dirty page ()
 
-let close_segment st =
+let close_segment ?(fault = No_fault) ?(final = false) st =
   let outs = Hashtbl.length st.dirty in
-  st.paging <- st.paging + (outs * st.cfg.Config.page_out_cost);
+  (match fault with
+  | Dropped_page_out ->
+    let charged = (outs + 1) / 2 in
+    if charged < outs then st.faulted <- true;
+    st.paging <- st.paging + (charged * st.cfg.Config.page_out_cost)
+  | _ -> st.paging <- st.paging + (outs * st.cfg.Config.page_out_cost));
   st.page_outs <- st.page_outs + outs;
   st.segs <- { user_cycles = st.user; paging_cycles = st.paging } :: st.segs;
-  st.total_user <- st.total_user + st.user;
+  (match fault with
+  | Truncated_final_segment when final && st.user > 1 ->
+    st.faulted <- true;
+    st.total_user <- st.total_user + (st.user / 2)
+  | _ -> st.total_user <- st.total_user + st.user);
   st.total_paging <- st.total_paging + st.paging;
   st.user <- 0;
   st.paging <- 0;
@@ -103,6 +133,7 @@ let run ?(fault = No_fault) ?(fuel = 500_000_000) (cfg : Config.t)
   in
   let hooks = Emulator.no_hooks () in
   let boundary_pending = ref false in
+  let silent_halt = ref false in
   hooks.on_instr <-
     (fun ~pc ins ->
       touch st ~write:false pc;
@@ -119,7 +150,8 @@ let run ?(fault = No_fault) ?(fuel = 500_000_000) (cfg : Config.t)
           (* the shard boundary landed on an indirect jump (a function
              return): the buggy executor drops the rest of the execution
              on the floor yet still emits a provable, verifying trace *)
-          st.faulted <- true
+          st.faulted <- true;
+          silent_halt := true
         | _ -> ()
       end);
   hooks.on_mem <- (fun ~write addr _bytes -> touch st ~write addr);
@@ -129,18 +161,25 @@ let run ?(fault = No_fault) ?(fuel = 500_000_000) (cfg : Config.t)
       st.user <- st.user + Config.precompile_cost cfg name);
   let emu = Emulator.create ~hooks cg.Codegen.program m in
   let budget = ref fuel in
-  while (not emu.Emulator.halted) && not st.faulted do
-    if !budget <= 0 then raise (Emulator.Trap "zkVM executor: out of fuel");
+  while (not emu.Emulator.halted) && not !silent_halt do
+    if !budget <= 0 then raise (Emulator.Out_of_fuel fuel);
     decr budget;
     Emulator.step emu;
-    if !boundary_pending && not st.faulted then begin
+    if !boundary_pending && not !silent_halt then begin
       boundary_pending := false;
-      close_segment st
+      close_segment ~fault st
     end
   done;
-  close_segment st;
+  close_segment ~fault ~final:true st;
+  let exit_value =
+    match fault with
+    | Corrupt_exit_value ->
+      st.faulted <- true;
+      Int32.logxor emu.Emulator.exit_value 0x5A5A5A5Al
+    | _ -> emu.Emulator.exit_value
+  in
   {
-    exit_value = emu.Emulator.exit_value;
+    exit_value;
     total_cycles = st.total_user + st.total_paging;
     user_cycles = st.total_user;
     paging_cycles = st.total_paging;

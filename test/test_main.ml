@@ -9,4 +9,5 @@ let () =
       ("crypto", Test_crypto.tests);
       ("infra", Test_infra.tests);
       ("workloads", Test_workloads.tests);
+      ("harness", Test_harness.tests);
     ]
