@@ -5,6 +5,9 @@
     zkbench passes                       # the 64 swept passes
     zkbench run fibonacci -O3            # measure one program
     zkbench run npb-lu --pass licm       # one pass vs baseline
+    zkbench profile npb-lu --profile baseline --out base.prof
+    zkbench profile npb-lu --pass licm --diff base.prof
+                                         # where did licm's cycles go?
     zkbench sweep --program fibonacci    # all 71 profiles on one program
     zkbench sweepall --quick --checkpoint sweep.ckpt
                                          # fault-tolerant full-matrix sweep;
@@ -15,6 +18,7 @@
 
 open Cmdliner
 open Zkopt_core
+module Json = Zkopt_report.Json
 
 let find_workload name =
   Zkopt_workloads.Suite.check_composition ();
@@ -45,6 +49,42 @@ let profile_of ~level ~pass ~zk_o3 =
     Profile.Level lvl
   | _, _, true -> Profile.Zkvm_o3
   | None, None, false -> Profile.Baseline
+
+(** Resolve a generic [--profile NAME]: "baseline", a level, the
+    zkVM-aware -O3, or any swept pass by name. *)
+let profile_by_name = function
+  | "baseline" -> Profile.Baseline
+  | "zk-o3" | "zkvm-o3" | "-O3(zkvm)" -> Profile.Zkvm_o3
+  | ("O0" | "-O0" | "O1" | "-O1" | "O2" | "-O2" | "O3" | "-O3" | "Os" | "-Os"
+    | "Oz" | "-Oz") as l ->
+    profile_of ~level:(Some l) ~pass:None ~zk_o3:false
+  | p ->
+    ignore (Zkopt_passes.Pass.find p) (* errors early on unknown names *);
+    Profile.Single_pass p
+
+let json_of_zk (zk : Measure.zk_metrics) : Json.t =
+  Json.Obj
+    [
+      ("vm", Json.Str zk.Measure.vm);
+      ("cycles", Json.Int zk.Measure.cycles);
+      ("exec_time_s", Json.Float zk.Measure.exec_time_s);
+      ("prove_time_s", Json.Float zk.Measure.prove_time_s);
+      ("segments", Json.Int zk.Measure.segments);
+      ("paging_cycles", Json.Int zk.Measure.paging_cycles);
+      ("page_ins", Json.Int zk.Measure.page_ins);
+      ("page_outs", Json.Int zk.Measure.page_outs);
+      ("loads", Json.Int zk.Measure.loads);
+      ("stores", Json.Int zk.Measure.stores);
+    ]
+
+let json_of_cpu (cpu : Measure.cpu_metrics) : Json.t =
+  Json.Obj
+    [
+      ("cycles", Json.Float cpu.Measure.cpu_cycles);
+      ("time_s", Json.Float cpu.Measure.cpu_time_s);
+      ("mispredicts", Json.Int cpu.Measure.mispredicts);
+      ("cache_misses", Json.Int cpu.Measure.cache_misses);
+    ]
 
 (* ---- subcommands --------------------------------------------------- *)
 
@@ -91,22 +131,130 @@ let zk_o3_arg =
   Arg.(value & flag
        & info [ "zk-o3" ] ~doc:"Use the zkVM-aware modified -O3 pipeline")
 
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ] ~doc:"Emit machine-readable JSON instead of tables")
+
 let run_cmd =
-  let run prog quick level pass zk_o3 =
+  let run prog quick level pass zk_o3 json =
     let w = find_workload prog in
     let build () = w.Zkopt_workloads.Workload.build (size_of_quick quick) in
     let profile = profile_of ~level ~pass ~zk_o3 in
-    Printf.printf "%s under %s:\n" prog (Profile.name profile);
     let c = Measure.prepare ~build profile in
-    show_metrics (Measure.run_zkvm Zkopt_zkvm.Config.risc0 c);
-    show_metrics (Measure.run_zkvm Zkopt_zkvm.Config.sp1 c);
+    let r0 = Measure.run_zkvm Zkopt_zkvm.Config.risc0 c in
+    let sp1 = Measure.run_zkvm Zkopt_zkvm.Config.sp1 c in
     let cpu = Measure.run_cpu c in
-    Printf.printf "  %-6s %10.0f cycles  time %8.6fs  (CPU model)\n" "cpu"
-      cpu.Measure.cpu_cycles cpu.Measure.cpu_time_s;
-    Printf.printf "  static size: %d instructions\n" c.Measure.static_instrs
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              [
+                ("program", Json.Str prog);
+                ("profile", Json.Str (Profile.name profile));
+                ("static_instrs", Json.Int c.Measure.static_instrs);
+                ("zkvms", Json.Arr [ json_of_zk r0; json_of_zk sp1 ]);
+                ("cpu", json_of_cpu cpu);
+              ]))
+    else begin
+      Printf.printf "%s under %s:\n" prog (Profile.name profile);
+      show_metrics r0;
+      show_metrics sp1;
+      Printf.printf "  %-6s %10.0f cycles  time %8.6fs  (CPU model)\n" "cpu"
+        cpu.Measure.cpu_cycles cpu.Measure.cpu_time_s;
+      Printf.printf "  static size: %d instructions\n" c.Measure.static_instrs
+    end
   in
   Cmd.v (Cmd.info "run" ~doc:"Measure one program under a profile")
-    Term.(const run $ prog_arg $ quick_arg $ level_arg $ pass_arg $ zk_o3_arg)
+    Term.(const run $ prog_arg $ quick_arg $ level_arg $ pass_arg $ zk_o3_arg
+          $ json_arg)
+
+let profile_cmd =
+  let named_arg =
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"NAME"
+             ~doc:"Profile by name: baseline, a level (O0..Oz), zk-o3, or \
+                   any swept pass")
+  in
+  let vm_arg =
+    Arg.(value & opt string "risc0"
+         & info [ "vm" ] ~docv:"VM" ~doc:"Cost model to attribute (risc0 or sp1)")
+  in
+  let top_arg =
+    Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows per table")
+  in
+  let diff_arg =
+    Arg.(value & opt (some string) None
+         & info [ "diff" ] ~docv:"FILE"
+             ~doc:"Diff this run against a baseline profile saved with --out")
+  in
+  let folded_arg =
+    Arg.(value & opt (some string) None
+         & info [ "folded" ] ~docv:"FILE"
+             ~doc:"Write folded call stacks (flamegraph.pl input) to FILE")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Save the profile to FILE for a later --diff")
+  in
+  let run prog quick level pass zk_o3 named vm top diff folded out json =
+    let w = find_workload prog in
+    let build () = w.Zkopt_workloads.Workload.build (size_of_quick quick) in
+    let profile =
+      match named with
+      | Some n -> profile_by_name n
+      | None -> profile_of ~level ~pass ~zk_o3
+    in
+    let cfg = Zkopt_zkvm.Config.by_name vm in
+    let c = Measure.prepare ~build profile in
+    let label = Profile.name profile in
+    let metrics, prof = Zkopt_prof.Driver.profile_all ~label cfg c in
+    (match out with Some f -> Zkopt_prof.Profile.save prof f | None -> ());
+    (match folded with
+    | Some f ->
+      let oc = open_out f in
+      Zkopt_prof.Render.folded oc prof;
+      close_out oc
+    | None -> ());
+    match diff with
+    | Some basefile ->
+      let base = Zkopt_prof.Profile.load basefile in
+      if json then
+        print_endline
+          (Json.to_string (Zkopt_prof.Render.json_of_diff ~base ~cand:prof ()))
+      else Zkopt_prof.Render.diff ~top ~base ~cand:prof ()
+    | None ->
+      if json then
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("program", Json.Str prog);
+                  ( "metrics",
+                    Json.Obj
+                      [
+                        ("vm", Json.Str metrics.Zkopt_zkvm.Vm.vm);
+                        ("cycles", Json.Int metrics.Zkopt_zkvm.Vm.cycles);
+                        ("segments", Json.Int metrics.Zkopt_zkvm.Vm.segments);
+                        ( "paging_cycles",
+                          Json.Int metrics.Zkopt_zkvm.Vm.paging_cycles );
+                      ] );
+                  ("profile", Zkopt_prof.Render.json_of_profile prof);
+                ]))
+      else begin
+        Printf.printf "%s under %s [vm=%s]: %d cycles, %d segments\n" prog
+          label metrics.Zkopt_zkvm.Vm.vm metrics.Zkopt_zkvm.Vm.cycles
+          metrics.Zkopt_zkvm.Vm.segments;
+        Zkopt_prof.Render.table ~top prof
+      end
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Attribute every zkVM cycle (exec, paging, padding, CPU model) \
+             to the IR site that caused it; optionally diff two profiles")
+    Term.(const run $ prog_arg $ quick_arg $ level_arg $ pass_arg $ zk_o3_arg
+          $ named_arg $ vm_arg $ top_arg $ diff_arg $ folded_arg $ out_arg
+          $ json_arg)
 
 let sweep_cmd =
   let run prog quick =
@@ -245,5 +393,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; passes_cmd; run_cmd; sweep_cmd; sweepall_cmd;
-            autotune_cmd; asm_cmd ]))
+          [ list_cmd; passes_cmd; run_cmd; profile_cmd; sweep_cmd;
+            sweepall_cmd; autotune_cmd; asm_cmd ]))

@@ -1,27 +1,23 @@
 #!/bin/sh
-# CI / pre-push check: build, full test suite, then short seeded smoke
-# runs of the differential fuzzers (the same properties run in
-# `dune runtest` with smaller budgets; these catch linkage/CLI rot).
+# CI / pre-push check.  `dune build @smoke` covers the full build, the
+# test suite, seeded smoke runs of the differential fuzzers, the
+# profiler-overhead gate (dev/profcheck.ml), and an in-sandbox sweepall
+# checkpoint/resume smoke.  The out-of-sandbox sweep below additionally
+# exercises the real CLI with a checkpoint on disk.
 set -e
 cd "$(dirname "$0")/.."
 
-echo "== dune build =="
-dune build
+# all scratch state lives in one private directory; no fixed /tmp names,
+# no mktemp/rm window where another instance can grab the same path
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT INT TERM
 
-echo "== dune runtest =="
-dune runtest
+echo "== dune build @smoke =="
+dune build @smoke
 
-echo "== fuzz smoke (25 seeds) =="
-dune exec dev/fuzz.exe -- 25
-
-echo "== passfuzz smoke (3 seeds) =="
-dune exec dev/passfuzz.exe -- 3
-
-echo "== sweepall resume smoke =="
-ckpt=$(mktemp /tmp/zkopt-check-XXXXXX.ckpt)
-rm -f "$ckpt"
+echo "== sweepall resume smoke (CLI) =="
+ckpt="$tmpdir/sweep.ckpt"
 dune exec bin/zkbench.exe -- sweepall --quick --limit 3 --checkpoint "$ckpt" > /dev/null
 dune exec bin/zkbench.exe -- sweepall --quick --limit 3 --checkpoint "$ckpt"
-rm -f "$ckpt"
 
 echo "check.sh: all green"

@@ -56,9 +56,9 @@ let prepare ?(verify = true) ~(build : unit -> Modul.t) (profile : Profile.t) :
 (** Raw measurement: like {!run_zkvm} but returns the full {!Zkopt_zkvm.Vm}
     result (including the per-segment executor trace), which the harness's
     accounting oracles need. *)
-let run_zkvm_raw ?fault ?fuel (cfg : Zkopt_zkvm.Config.t) (c : compiled) :
+let run_zkvm_raw ?fault ?fuel ?attr (cfg : Zkopt_zkvm.Config.t) (c : compiled) :
     Zkopt_zkvm.Vm.metrics =
-  Zkopt_zkvm.Vm.measure ?fault ?fuel cfg c.codegen c.modul
+  Zkopt_zkvm.Vm.measure ?fault ?fuel ?attr cfg c.codegen c.modul
 
 let zk_of_vm (r : Zkopt_zkvm.Vm.metrics) : zk_metrics =
   let e = r.Zkopt_zkvm.Vm.exec in
@@ -79,8 +79,8 @@ let zk_of_vm (r : Zkopt_zkvm.Vm.metrics) : zk_metrics =
 let run_zkvm ?fault ?fuel (cfg : Zkopt_zkvm.Config.t) (c : compiled) : zk_metrics =
   zk_of_vm (run_zkvm_raw ?fault ?fuel cfg c)
 
-let run_cpu ?fuel (c : compiled) : cpu_metrics =
-  let r = Zkopt_cpu.Timing.run ?fuel c.codegen c.modul in
+let run_cpu ?fuel ?attr (c : compiled) : cpu_metrics =
+  let r = Zkopt_cpu.Timing.run ?fuel ?attr c.codegen c.modul in
   {
     cpu_cycles = r.Zkopt_cpu.Timing.cycles;
     cpu_time_s = r.Zkopt_cpu.Timing.time_s;

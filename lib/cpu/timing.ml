@@ -69,8 +69,14 @@ let lat_of params (i : Isa.t) =
   | Store _ -> params.lat_store
   | _ -> params.lat_default
 
-(** Replay module [m] (compiled as [cg]) through the CPU model. *)
+(** Replay module [m] (compiled as [cg]) through the CPU model.
+
+    [attr] optionally attributes CPU cycles to the pc that spent them:
+    each instruction is charged its issue-clock advance, and the trailing
+    memory-port drain is charged to the last retired pc, so the attributed
+    costs sum exactly to the reported [cycles]. *)
 let run ?(params = default_params) ?(fuel = 500_000_000)
+    ?(attr : (pc:int32 -> Isa.t -> cost:float -> unit) option)
     (cg : Codegen.t) (m : Zkopt_ir.Modul.t) : result =
   let cache = Cache.create () in
   let pred = Predictor.create () in
@@ -139,6 +145,7 @@ let run ?(params = default_params) ?(fuel = 500_000_000)
     List.iter (fun r -> if r <> 0 then ready.(r) <- completion) dsts
   in
   let budget = ref fuel in
+  let last = ref None in
   while not emu.Emulator.halted do
     if !budget <= 0 then raise (Emulator.Out_of_fuel fuel);
     decr budget;
@@ -150,9 +157,19 @@ let run ?(params = default_params) ?(fuel = 500_000_000)
       cg.Codegen.program.Asm.code.(idx)
     in
     Emulator.step emu;
-    time_instr ins
+    (match attr with
+    | Some a ->
+      let before = !clock in
+      time_instr ins;
+      a ~pc ins ~cost:(!clock -. before);
+      last := Some (pc, ins)
+    | None -> time_instr ins)
   done;
   let cycles = Float.max !clock !mem_busy_until in
+  (match (attr, !last) with
+  | Some a, Some (pc, ins) when cycles > !clock ->
+    a ~pc ins ~cost:(cycles -. !clock)
+  | _ -> ());
   {
     cycles;
     time_s = cycles /. (params.ghz *. 1e9);

@@ -1,0 +1,85 @@
+(** Attribution collector: implements the executor's and CPU model's
+    attribution sinks, resolving each charged pc to a provenance site
+    through the binary's source map and maintaining a shadow call stack
+    for folded-flamegraph output.
+
+    The shadow stack mirrors the RISC-V calling convention the code
+    generator emits: a call is always [jal ra, off] (static target) or
+    [jalr ra, ...] (indirect — none are emitted today, but the collector
+    tolerates them), and a return is [jalr x0, 0(ra)].  The call
+    instruction itself is charged to the caller's frame; the push/pop
+    happens after charging. *)
+
+open Zkopt_riscv
+
+type t = {
+  prog : Asm.program;
+  profile : Profile.t;
+  mutable stack : string list;  (* call frames, innermost first *)
+}
+
+let create prog profile = { prog; profile; stack = [] }
+
+let site_at c pc =
+  match Asm.site_of_pc c.prog pc with
+  | Some (f, b) -> Site.make f b
+  | None -> Site.unknown
+
+let fold_key c (s : Site.t) =
+  String.concat ";" (List.rev_append c.stack [ Site.to_string s ])
+
+let charge_instr c ~pc (ins : Isa.t) ~cost =
+  let s = site_at c pc in
+  let k = Profile.counters c.profile s in
+  k.Profile.exec <- k.Profile.exec + cost;
+  k.Profile.retired <- k.Profile.retired + 1;
+  (match ins with
+  | Isa.Load _ | Isa.Store _ -> k.Profile.mem_ops <- k.Profile.mem_ops + 1
+  | _ -> ());
+  Profile.fold_add c.profile (fold_key c s) cost;
+  match ins with
+  | Isa.Jal (rd, off) when rd = Isa.ra ->
+    let callee = site_at c (Int32.add pc (Int32.of_int off)) in
+    c.stack <- callee.Site.func :: c.stack
+  | Isa.Jalr (rd, _, _) when rd = Isa.ra -> c.stack <- "<indirect>" :: c.stack
+  | Isa.Jalr (0, rs1, _) when rs1 = Isa.ra -> (
+    match c.stack with _ :: tl -> c.stack <- tl | [] -> ())
+  | _ -> ()
+
+(** The zkVM-side sink.  [cfg] is needed to turn segment close events
+    into prover padding residue (pow2 padding above the min_po2 floor),
+    mirroring lib/zkvm/prover.ml. *)
+let zk_attr c (cfg : Zkopt_zkvm.Config.t) : Zkopt_zkvm.Executor.attr =
+  let open Zkopt_zkvm in
+  {
+    Executor.attr_instr = (fun ~pc ins ~cost -> charge_instr c ~pc ins ~cost);
+    attr_precompile =
+      (fun ~pc ~name:_ ~cost ->
+        (* the ecall itself was already charged by attr_instr; the
+           precompile's cycle bill rides on the same site *)
+        let s = site_at c pc in
+        let k = Profile.counters c.profile s in
+        k.Profile.exec <- k.Profile.exec + cost;
+        Profile.fold_add c.profile (fold_key c s) cost);
+    attr_page_in =
+      (fun ~pc ~cost ->
+        let k = Profile.counters c.profile (site_at c pc) in
+        k.Profile.paging_in <- k.Profile.paging_in + cost);
+    attr_page_out =
+      (fun ~pc ~cost ->
+        let k = Profile.counters c.profile (site_at c pc) in
+        k.Profile.paging_out <- k.Profile.paging_out + cost);
+    attr_segment =
+      (fun ~pc ~user ~paging ->
+        let actual = user + paging in
+        let padded =
+          Prover.next_pow2 (max (1 lsl cfg.Config.min_po2) actual)
+        in
+        let k = Profile.counters c.profile (site_at c pc) in
+        k.Profile.segment <- k.Profile.segment + (padded - actual));
+  }
+
+(** The CPU-model sink (float cycles, no paging/segment dimensions). *)
+let cpu_attr c ~pc (_ins : Isa.t) ~cost =
+  let k = Profile.counters c.profile (site_at c pc) in
+  k.Profile.cpu <- k.Profile.cpu +. cost

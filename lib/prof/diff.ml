@@ -1,0 +1,52 @@
+(** Profile diffing: given a baseline and a candidate profile, rank
+    provenance sites by how much of a cost dimension they gained or
+    lost.  This is what turns "licm made risc0 slower" into "licm made
+    the hoisted loads page in at the loop header" (the paper's Fig. 9
+    mechanism). *)
+
+type entry = {
+  site : Site.t;
+  base : float;
+  cand : float;
+  delta : float;  (* cand - base; positive = candidate costs more *)
+}
+
+(** Entries for one dimension over the union of both profiles' sites,
+    largest |delta| first (ties broken toward regressions, then by site
+    name so output is deterministic). *)
+let by_dim (dim : Profile.dim) ~(base : Profile.t) ~(cand : Profile.t) :
+    entry list =
+  let union = Hashtbl.create 64 in
+  let add t side =
+    Hashtbl.iter
+      (fun s c ->
+        let b, ca =
+          match Hashtbl.find_opt union s with
+          | Some (b, ca) -> (b, ca)
+          | None -> (0.0, 0.0)
+        in
+        let v = Profile.get dim c in
+        Hashtbl.replace union s
+          (if side = `Base then (v, ca) else (b, v)))
+      t.Profile.sites
+  in
+  add base `Base;
+  add cand `Cand;
+  let entries =
+    Hashtbl.fold
+      (fun site (b, ca) acc ->
+        { site; base = b; cand = ca; delta = ca -. b } :: acc)
+      union []
+  in
+  List.sort
+    (fun a b ->
+      match compare (Float.abs b.delta) (Float.abs a.delta) with
+      | 0 -> (
+        match compare b.delta a.delta with
+        | 0 -> Site.compare a.site b.site
+        | n -> n)
+      | n -> n)
+    entries
+
+(** Dimension totals, candidate minus baseline. *)
+let total_delta dim ~base ~cand = Profile.total cand dim -. Profile.total base dim

@@ -1,0 +1,42 @@
+(** One-call profiling drivers: run a compiled program under a zkVM
+    configuration (or the CPU model) with an attribution collector
+    installed, and return both the ordinary metrics and the profile.
+
+    The profiled run is bit-identical to an unprofiled one — the sink
+    only observes costs the executor was already accounting — so the
+    metrics returned here match what [Measure.run_zkvm] reports without
+    a profiler attached. *)
+
+module Measure = Zkopt_core.Measure
+
+let collector c profile =
+  Collect.create
+    c.Measure.codegen.Zkopt_riscv.Codegen.program
+    profile
+
+(** Profile one zkVM run.  [label] names the profile (e.g. the profile /
+    pass under test); the vm name is taken from [cfg]. *)
+let profile_zkvm ?fuel ~label (cfg : Zkopt_zkvm.Config.t)
+    (c : Measure.compiled) : Zkopt_zkvm.Vm.metrics * Profile.t =
+  let p = Profile.create ~vm:cfg.Zkopt_zkvm.Config.name ~label in
+  let col = collector c p in
+  let attr = Collect.zk_attr col cfg in
+  let r = Measure.run_zkvm_raw ?fuel ~attr cfg c in
+  (r, p)
+
+(** Profile one CPU-model run (fills only the [cpu] dimension). *)
+let profile_cpu ?fuel ~label (c : Measure.compiled) :
+    Measure.cpu_metrics * Profile.t =
+  let p = Profile.create ~vm:"cpu" ~label in
+  let col = collector c p in
+  let r = Measure.run_cpu ?fuel ~attr:(Collect.cpu_attr col) c in
+  (r, p)
+
+(** Profile a zkVM run and fold the CPU dimension into the same profile,
+    so one profile carries every dimension for diffing. *)
+let profile_all ?fuel ~label (cfg : Zkopt_zkvm.Config.t)
+    (c : Measure.compiled) : Zkopt_zkvm.Vm.metrics * Profile.t =
+  let r, p = profile_zkvm ?fuel ~label cfg c in
+  let col = collector c p in
+  ignore (Measure.run_cpu ?fuel ~attr:(Collect.cpu_attr col) c);
+  (r, p)

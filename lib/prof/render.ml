@@ -1,0 +1,144 @@
+(** Profile renderers: ASCII tables (via lib/report), folded-stack text
+    for flamegraph.pl, and JSON for external tooling. *)
+
+open Zkopt_report
+
+let fmt_int f = Printf.sprintf "%.0f" f
+let fmt_delta f = Printf.sprintf "%+.0f" f
+
+(** Hottest-site table: one row per site, every dimension as a column,
+    sorted by zk cycles (exec + paging). *)
+let table ?(top = 20) (p : Profile.t) =
+  Report.section
+    (Printf.sprintf "profile: %s  [vm=%s]" p.Profile.label p.Profile.vm);
+  let all = Profile.sites p in
+  let shown = List.filteri (fun i _ -> i < top) all in
+  Report.table
+    ~headers:
+      [ "site"; "zk"; "exec"; "page-in"; "page-out"; "padding"; "cpu";
+        "retired"; "mem" ]
+    (List.map
+       (fun (s, (c : Profile.counters)) ->
+         [
+           Site.to_string s;
+           string_of_int (Profile.zk c);
+           string_of_int c.Profile.exec;
+           string_of_int c.Profile.paging_in;
+           string_of_int c.Profile.paging_out;
+           string_of_int c.Profile.segment;
+           Printf.sprintf "%.0f" c.Profile.cpu;
+           string_of_int c.Profile.retired;
+           string_of_int c.Profile.mem_ops;
+         ])
+       shown);
+  if List.length all > top then
+    Report.note "(%d more sites below --top %d)" (List.length all - top) top;
+  Report.note
+    "totals: exec=%s  page-in=%s  page-out=%s  padding=%s  cpu=%s"
+    (fmt_int (Profile.total p Profile.Exec))
+    (fmt_int (Profile.total p Profile.Paging_in))
+    (fmt_int (Profile.total p Profile.Paging_out))
+    (fmt_int (Profile.total p Profile.Segment))
+    (fmt_int (Profile.total p Profile.Cpu))
+
+(** Diff tables: one per dimension that actually moved, top sites by
+    |delta|.  [base]/[cand] label the two profiles in the header. *)
+let diff ?(top = 10) ~(base : Profile.t) ~(cand : Profile.t) () =
+  Report.section
+    (Printf.sprintf "profile diff: %s -> %s  [vm=%s]" base.Profile.label
+       cand.Profile.label cand.Profile.vm);
+  List.iter
+    (fun dim ->
+      let entries = Diff.by_dim dim ~base ~cand in
+      let moved = List.filter (fun (e : Diff.entry) -> e.delta <> 0.0) entries in
+      if moved <> [] then begin
+        Report.note "";
+        Report.note "%s: total %s cycles" (Profile.dim_name dim)
+          (fmt_delta (Diff.total_delta dim ~base ~cand));
+        Report.table
+          ~headers:[ "site"; base.Profile.label; cand.Profile.label; "delta" ]
+          (List.filteri (fun i _ -> i < top) moved
+          |> List.map (fun (e : Diff.entry) ->
+                 [
+                   Site.to_string e.site;
+                   fmt_int e.base;
+                   fmt_int e.cand;
+                   fmt_delta e.delta;
+                 ]))
+      end)
+    Profile.dims
+
+(** Folded stacks in flamegraph.pl input format, one "stack cycles" per
+    line. *)
+let folded oc (p : Profile.t) =
+  List.iter
+    (fun (k, v) -> Printf.fprintf oc "%s %d\n" k v)
+    (Profile.folded_lines p)
+
+(* -- JSON ------------------------------------------------------------- *)
+
+let json_of_counters (c : Profile.counters) : Json.t =
+  Json.Obj
+    [
+      ("exec", Json.Int c.Profile.exec);
+      ("page_in", Json.Int c.Profile.paging_in);
+      ("page_out", Json.Int c.Profile.paging_out);
+      ("padding", Json.Int c.Profile.segment);
+      ("cpu", Json.Float c.Profile.cpu);
+      ("retired", Json.Int c.Profile.retired);
+      ("mem_ops", Json.Int c.Profile.mem_ops);
+    ]
+
+let json_of_profile (p : Profile.t) : Json.t =
+  Json.Obj
+    [
+      ("vm", Json.Str p.Profile.vm);
+      ("label", Json.Str p.Profile.label);
+      ( "sites",
+        Json.Arr
+          (List.map
+             (fun (s, c) ->
+               Json.Obj
+                 [
+                   ("func", Json.Str s.Site.func);
+                   ("block", Json.Str s.Site.block);
+                   ("counters", json_of_counters c);
+                 ])
+             (Profile.sites p)) );
+      ( "folded",
+        Json.Arr
+          (List.map
+             (fun (k, v) ->
+               Json.Obj [ ("stack", Json.Str k); ("cycles", Json.Int v) ])
+             (Profile.folded_lines p)) );
+    ]
+
+let json_of_diff ~(base : Profile.t) ~(cand : Profile.t) () : Json.t =
+  Json.Obj
+    [
+      ("vm", Json.Str cand.Profile.vm);
+      ("base", Json.Str base.Profile.label);
+      ("cand", Json.Str cand.Profile.label);
+      ( "dims",
+        Json.Arr
+          (List.map
+             (fun dim ->
+               Json.Obj
+                 [
+                   ("dim", Json.Str (Profile.dim_name dim));
+                   ("total_delta", Json.Float (Diff.total_delta dim ~base ~cand));
+                   ( "sites",
+                     Json.Arr
+                       (Diff.by_dim dim ~base ~cand
+                       |> List.filter (fun (e : Diff.entry) -> e.delta <> 0.0)
+                       |> List.map (fun (e : Diff.entry) ->
+                              Json.Obj
+                                [
+                                  ("site", Json.Str (Site.to_string e.site));
+                                  ("base", Json.Float e.base);
+                                  ("cand", Json.Float e.cand);
+                                  ("delta", Json.Float e.delta);
+                                ])) );
+                 ])
+             Profile.dims) );
+    ]

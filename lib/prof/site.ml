@@ -1,0 +1,27 @@
+(** A provenance site: the IR location a machine cost is charged to.
+
+    Sites come from the [Loc] markers the instruction selector plants in
+    the assembly stream (see lib/riscv/asm.ml) — one per IR basic block,
+    plus the synthetic ["<prologue>"]/["<epilogue>"] blocks that codegen
+    wraps around every function. *)
+
+type t = {
+  func : string;
+  block : string;  (* "" when the cost lands before the first marker *)
+}
+
+let make func block = { func; block }
+
+(** Costs at addresses outside the program image (should not happen in a
+    healthy run, but the profiler must not crash on them). *)
+let unknown = { func = "<unknown>"; block = "" }
+
+let compare a b =
+  match String.compare a.func b.func with
+  | 0 -> String.compare a.block b.block
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let to_string s =
+  if String.equal s.block "" then s.func else s.func ^ ":" ^ s.block

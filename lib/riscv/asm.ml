@@ -14,6 +14,11 @@ type item =
   | Bc of Isa.bcond * Isa.reg * Isa.reg * string
   | CallSym of string                 (* jal ra, symbol *)
   | Ret                               (* jalr x0, 0(ra) *)
+  | Loc of string
+      (* provenance marker: instructions that follow originate from this
+         IR block (the enclosing function is the unit name).  Occupies no
+         code space; the assembler folds the markers into the program's
+         [srcmap] so cycle attribution can symbolize any pc. *)
 
 type unit_ = {
   name : string;          (* function symbol *)
@@ -25,6 +30,9 @@ type program = {
   base : int32;                         (* address of code.(0) *)
   symbols : (string, int32) Hashtbl.t;  (* function + global addresses *)
   data_end : int32;
+  srcmap : (string * string) array;
+      (* (function, IR block) provenance of code.(i); "" block means the
+         unit carried no markers (hand-written assembly) *)
 }
 
 let fits_imm12 (v : int) = v >= -2048 && v <= 2047
@@ -50,7 +58,7 @@ let expand_li rd (v : int32) =
 (* Number of instruction words an item occupies.  [relaxed] marks Bc items
    (by identity index) that need the long form. *)
 let item_size ~relaxed idx = function
-  | Label _ -> 0
+  | Label _ | Loc _ -> 0
   | Ins _ | J _ | CallSym _ | Ret -> 1
   | Li (_, v) -> List.length (expand_li 0 v)
   | La _ -> 2
@@ -130,14 +138,30 @@ let assemble ~(globals : (string, int32) Hashtbl.t) ~data_end (units : unit_ lis
   fix ();
   let code_end = layout () in
 
-  (* Emission *)
+  (* Emission.  Every emitted word records the (function, block) site the
+     last provenance marker named; units without markers map to
+     (unit, ""). *)
   let out = ref [] in
-  let emit i = out := i :: !out in
+  let src = ref [] in
+  let cur_unit = ref "" in
+  let cur_block = ref "" in
+  let emit_at uname i =
+    if not (String.equal uname !cur_unit) then begin
+      cur_unit := uname;
+      cur_block := ""
+    end;
+    out := i :: !out;
+    src := (uname, !cur_block) :: !src
+  in
   List.iter
     (fun (idx, uname, it) ->
       let here = Hashtbl.find addr_of_item idx in
+      let emit i = emit_at uname i in
       match it with
       | Label _ -> ()
+      | Loc b ->
+        if not (String.equal uname !cur_unit) then cur_unit := uname;
+        cur_block := b
       | Ins i -> emit i
       | Li (rd, v) -> List.iter emit (expand_li rd v)
       | La (rd, sym) -> begin
@@ -175,7 +199,14 @@ let assemble ~(globals : (string, int32) Hashtbl.t) ~data_end (units : unit_ lis
     base;
     symbols;
     data_end;
+    srcmap = Array.of_list (List.rev !src);
   }
+
+(** Provenance of an instruction address: [(function, block)], or [None]
+    outside the code image. *)
+let site_of_pc (p : program) (pc : int32) : (string * string) option =
+  let idx = Int32.to_int (Int32.sub pc p.base) / 4 in
+  if idx >= 0 && idx < Array.length p.srcmap then Some p.srcmap.(idx) else None
 
 (** Assembly listing, for debugging and the manual-unroll experiments. *)
 let to_string (u : unit_) =
@@ -196,6 +227,7 @@ let to_string (u : unit_) =
           Printf.sprintf "  %s %s, %s, %s" n (Isa.reg_name rs1) (Isa.reg_name rs2) l
         | CallSym s -> "  call " ^ s
         | Ret -> "  ret"
+        | Loc b -> Printf.sprintf "  # loc %s" b
       in
       Buffer.add_string buf (line ^ "\n"))
     u.items;

@@ -67,10 +67,15 @@ let lower_func (m : Modul.t) (f : Func.t) : Asm.unit_ * func_stats =
     in
     restore @ unwind @ finish
   in
-  let items = prologue @ ra_result.Regalloc.items @ epilogue in
+  let items =
+    (Asm.Loc "<prologue>" :: prologue)
+    @ ra_result.Regalloc.items
+    @ (Asm.Loc "<epilogue>" :: epilogue)
+  in
   let instrs =
     List.fold_left
-      (fun acc it -> acc + (match it with Asm.Label _ -> 0 | _ -> 1))
+      (fun acc it ->
+        acc + (match it with Asm.Label _ | Asm.Loc _ -> 0 | _ -> 1))
       0 items
   in
   ( { Asm.name = f.Func.name; items },

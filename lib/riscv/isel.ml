@@ -583,7 +583,10 @@ let select (m : Modul.t) (f : Func.t) : output =
   in
   let use_counts = Zkopt_analysis.Defs.use_counts f in
   let exit_label = "__exit" in
-  (* parameter intake from a0.. *)
+  (* parameter intake from a0.., attributed to the entry block *)
+  (match f.Func.blocks with
+  | b :: _ -> emit ctx (Asm.Loc b.Block.label)
+  | [] -> ());
   let word = ref 0 in
   List.iter
     (fun (r, ty) ->
@@ -601,6 +604,7 @@ let select (m : Modul.t) (f : Func.t) : output =
   List.iter
     (fun (b : Block.t) ->
       emit ctx (Asm.Label b.Block.label);
+      emit ctx (Asm.Loc b.Block.label);
       List.iter (sel_instr ctx) (instrs_to_emit b ~use_counts);
       sel_term ctx b ~use_counts ~exit_label)
     f.Func.blocks;

@@ -37,7 +37,7 @@ let item_defs (it : Asm.item) =
     [ rd ]
   | Ins (Isa.Jal (rd, _)) | Ins (Isa.Jalr (rd, _, _)) -> [ rd ]
   | Ins (Isa.Store _) | Ins (Isa.Branch _) | Ins Isa.Ecall -> []
-  | Label _ | J _ | Bc _ | CallSym _ | Ret -> []
+  | Label _ | J _ | Bc _ | CallSym _ | Ret | Loc _ -> []
 
 let item_uses (it : Asm.item) =
   match it with
@@ -49,7 +49,7 @@ let item_uses (it : Asm.item) =
   | Ins (Isa.Branch (_, rs1, rs2, _)) -> [ rs1; rs2 ]
   | Bc (_, rs1, rs2, _) -> [ rs1; rs2 ]
   | Ins (Isa.Lui _) | Ins (Isa.Auipc _) | Ins (Isa.Jal _) | Ins Isa.Ecall
-  | Li _ | La _ | Label _ | J _ | CallSym _ | Ret ->
+  | Li _ | La _ | Label _ | J _ | CallSym _ | Ret | Loc _ ->
     []
 
 let map_item_regs f (it : Asm.item) : Asm.item =
@@ -66,7 +66,7 @@ let map_item_regs f (it : Asm.item) : Asm.item =
   | Li (rd, v) -> Li (f rd, v)
   | La (rd, s) -> La (f rd, s)
   | Bc (c, rs1, rs2, l) -> Bc (c, f rs1, f rs2, l)
-  | Ins Isa.Ecall | Label _ | J _ | CallSym _ | Ret -> it
+  | Ins Isa.Ecall | Label _ | J _ | CallSym _ | Ret | Loc _ -> it
 
 let is_vreg r = r >= Isel.vreg_base
 

@@ -44,6 +44,27 @@ type segment = {
   paging_cycles : int;
 }
 
+(** Cycle-attribution sink.  When supplied to {!run}, every cost the
+    executor accounts is also reported to the sink together with the pc
+    it faults to, so a profiler (lib/prof) can charge it to a provenance
+    site.  The identities a healthy run preserves, per dimension:
+
+    - sum of [attr_instr]+[attr_precompile] costs = [user_cycles]
+    - sum of [attr_page_in]+[attr_page_out] costs = [paging_cycles]
+    - the [attr_segment] events replay the segment list exactly
+
+    Page-ins are charged to the pc whose fetch/access first touched the
+    page; page-outs to the pc that first dirtied the page in the segment;
+    segment events to the pc retiring when the segment closed.  When no
+    sink is installed the executor takes the pre-existing fast path. *)
+type attr = {
+  attr_instr : pc:int32 -> Zkopt_riscv.Isa.t -> cost:int -> unit;
+  attr_precompile : pc:int32 -> name:string -> cost:int -> unit;
+  attr_page_in : pc:int32 -> cost:int -> unit;
+  attr_page_out : pc:int32 -> cost:int -> unit;
+  attr_segment : pc:int32 -> user:int -> paging:int -> unit;
+}
+
 type result = {
   exit_value : int32;
   total_cycles : int;
@@ -70,7 +91,8 @@ type state = {
   mutable page_outs : int;
   mutable segs : segment list;
   touched : (int, unit) Hashtbl.t;
-  dirty : (int, unit) Hashtbl.t;
+  dirty : (int, int32) Hashtbl.t;   (* page -> pc that first dirtied it *)
+  mutable cur_pc : int32;           (* pc of the currently retiring instr *)
   mutable loads : int;
   mutable stores : int;
   mutable branches : int;
@@ -78,6 +100,8 @@ type state = {
   mutable faulted : bool;
 }
 
+(* the no-sink fast path: the hot-loop body the executor always ran
+   (the 0l dirty marker is a static constant — no per-write allocation) *)
 let touch st ~write addr =
   let page = Int32.to_int addr land 0xFFFF_FFFF / st.cfg.Config.page_bytes in
   if not (Hashtbl.mem st.touched page) then begin
@@ -85,17 +109,50 @@ let touch st ~write addr =
     st.paging <- st.paging + st.cfg.Config.page_in_cost;
     st.page_ins <- st.page_ins + 1
   end;
-  if write && not (Hashtbl.mem st.dirty page) then Hashtbl.replace st.dirty page ()
+  if write && not (Hashtbl.mem st.dirty page) then
+    Hashtbl.replace st.dirty page 0l
 
-let close_segment ?(fault = No_fault) ?(final = false) st =
+let touch_attr a st ~write addr =
+  let page = Int32.to_int addr land 0xFFFF_FFFF / st.cfg.Config.page_bytes in
+  if not (Hashtbl.mem st.touched page) then begin
+    Hashtbl.replace st.touched page ();
+    st.paging <- st.paging + st.cfg.Config.page_in_cost;
+    st.page_ins <- st.page_ins + 1;
+    a.attr_page_in ~pc:st.cur_pc ~cost:st.cfg.Config.page_in_cost
+  end;
+  if write && not (Hashtbl.mem st.dirty page) then
+    Hashtbl.replace st.dirty page st.cur_pc
+
+let close_segment ?(fault = No_fault) ?(final = false) ?attr st =
   let outs = Hashtbl.length st.dirty in
-  (match fault with
-  | Dropped_page_out ->
-    let charged = (outs + 1) / 2 in
-    if charged < outs then st.faulted <- true;
-    st.paging <- st.paging + (charged * st.cfg.Config.page_out_cost)
-  | _ -> st.paging <- st.paging + (outs * st.cfg.Config.page_out_cost));
+  let out_cost = st.cfg.Config.page_out_cost in
+  let charged =
+    match fault with
+    | Dropped_page_out ->
+      let charged = (outs + 1) / 2 in
+      if charged < outs then st.faulted <- true;
+      charged
+    | _ -> outs
+  in
+  st.paging <- st.paging + (charged * out_cost);
+  (match attr with
+  | Some a ->
+    (* charge write-backs to the first-dirtying pcs; under the injected
+       accounting fault only the actually-charged count is attributed, so
+       the attribution stays conserved against the (buggy) totals *)
+    let remaining = ref charged in
+    Hashtbl.iter
+      (fun _page pc ->
+        if !remaining > 0 then begin
+          decr remaining;
+          a.attr_page_out ~pc ~cost:out_cost
+        end)
+      st.dirty
+  | None -> ());
   st.page_outs <- st.page_outs + outs;
+  (match attr with
+  | Some a -> a.attr_segment ~pc:st.cur_pc ~user:st.user ~paging:st.paging
+  | None -> ());
   st.segs <- { user_cycles = st.user; paging_cycles = st.paging } :: st.segs;
   (match fault with
   | Truncated_final_segment when final && st.user > 1 ->
@@ -109,8 +166,10 @@ let close_segment ?(fault = No_fault) ?(final = false) st =
   Hashtbl.reset st.dirty
 
 (** Execute module [m] (already compiled to [cg]) under configuration
-    [cfg]. *)
-let run ?(fault = No_fault) ?(fuel = 500_000_000) (cfg : Config.t)
+    [cfg].  [attr] optionally attributes every accounted cost to the pc
+    that incurred it (see {!attr}); without it the hook bodies are the
+    pre-existing ones — the disabled path costs nothing extra. *)
+let run ?(fault = No_fault) ?(fuel = 500_000_000) ?attr (cfg : Config.t)
     (cg : Codegen.t) (m : Modul.t) : result =
   let st =
     {
@@ -124,6 +183,7 @@ let run ?(fault = No_fault) ?(fuel = 500_000_000) (cfg : Config.t)
       segs = [];
       touched = Hashtbl.create 64;
       dirty = Hashtbl.create 64;
+      cur_pc = 0l;
       loads = 0;
       stores = 0;
       branches = 0;
@@ -134,31 +194,60 @@ let run ?(fault = No_fault) ?(fuel = 500_000_000) (cfg : Config.t)
   let hooks = Emulator.no_hooks () in
   let boundary_pending = ref false in
   let silent_halt = ref false in
-  hooks.on_instr <-
-    (fun ~pc ins ->
-      touch st ~write:false pc;
-      st.user <- st.user + Config.instr_cost cfg ins;
-      (match ins with
-      | Isa.Load _ -> st.loads <- st.loads + 1
-      | Isa.Store _ -> st.stores <- st.stores + 1
-      | Isa.Branch _ | Jal _ | Jalr _ -> st.branches <- st.branches + 1
-      | _ -> ());
-      if st.user >= cfg.Config.segment_limit then begin
-        boundary_pending := true;
-        match (fault, ins) with
-        | Silent_halt_on_boundary_jalr, Isa.Jalr _ ->
-          (* the shard boundary landed on an indirect jump (a function
-             return): the buggy executor drops the rest of the execution
-             on the floor yet still emits a provable, verifying trace *)
-          st.faulted <- true;
-          silent_halt := true
-        | _ -> ()
-      end);
-  hooks.on_mem <- (fun ~write addr _bytes -> touch st ~write addr);
-  hooks.on_precompile <-
-    (fun name ->
-      st.precompiles <- st.precompiles + 1;
-      st.user <- st.user + Config.precompile_cost cfg name);
+  let boundary ins =
+    if st.user >= cfg.Config.segment_limit then begin
+      boundary_pending := true;
+      match (fault, ins) with
+      | Silent_halt_on_boundary_jalr, Isa.Jalr _ ->
+        (* the shard boundary landed on an indirect jump (a function
+           return): the buggy executor drops the rest of the execution
+           on the floor yet still emits a provable, verifying trace *)
+        st.faulted <- true;
+        silent_halt := true
+      | _ -> ()
+    end
+  in
+  (* the sink is selected once, here: with no sink installed, the hook
+     closures below are the pre-attribution ones — the disabled path
+     does not test [attr] per event *)
+  (match attr with
+  | None ->
+    hooks.on_instr <-
+      (fun ~pc ins ->
+        touch st ~write:false pc;
+        st.user <- st.user + Config.instr_cost cfg ins;
+        (match ins with
+        | Isa.Load _ -> st.loads <- st.loads + 1
+        | Isa.Store _ -> st.stores <- st.stores + 1
+        | Isa.Branch _ | Jal _ | Jalr _ -> st.branches <- st.branches + 1
+        | _ -> ());
+        boundary ins);
+    hooks.on_mem <- (fun ~write addr _bytes -> touch st ~write addr);
+    hooks.on_precompile <-
+      (fun name ->
+        st.precompiles <- st.precompiles + 1;
+        st.user <- st.user + Config.precompile_cost cfg name)
+  | Some a ->
+    hooks.on_instr <-
+      (fun ~pc ins ->
+        st.cur_pc <- pc;
+        touch_attr a st ~write:false pc;
+        let cost = Config.instr_cost cfg ins in
+        st.user <- st.user + cost;
+        a.attr_instr ~pc ins ~cost;
+        (match ins with
+        | Isa.Load _ -> st.loads <- st.loads + 1
+        | Isa.Store _ -> st.stores <- st.stores + 1
+        | Isa.Branch _ | Jal _ | Jalr _ -> st.branches <- st.branches + 1
+        | _ -> ());
+        boundary ins);
+    hooks.on_mem <- (fun ~write addr _bytes -> touch_attr a st ~write addr);
+    hooks.on_precompile <-
+      (fun name ->
+        st.precompiles <- st.precompiles + 1;
+        let cost = Config.precompile_cost cfg name in
+        st.user <- st.user + cost;
+        a.attr_precompile ~pc:st.cur_pc ~name ~cost));
   let emu = Emulator.create ~hooks cg.Codegen.program m in
   let budget = ref fuel in
   while (not emu.Emulator.halted) && not !silent_halt do
@@ -167,10 +256,10 @@ let run ?(fault = No_fault) ?(fuel = 500_000_000) (cfg : Config.t)
     Emulator.step emu;
     if !boundary_pending && not !silent_halt then begin
       boundary_pending := false;
-      close_segment ~fault st
+      close_segment ~fault ?attr st
     end
   done;
-  close_segment ~fault ~final:true st;
+  close_segment ~fault ~final:true ?attr st;
   let exit_value =
     match fault with
     | Corrupt_exit_value ->

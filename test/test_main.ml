@@ -10,4 +10,5 @@ let () =
       ("infra", Test_infra.tests);
       ("workloads", Test_workloads.tests);
       ("harness", Test_harness.tests);
+      ("prof", Test_prof.tests);
     ]
