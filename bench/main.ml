@@ -6,7 +6,12 @@
       dune exec bench/main.exe                 # full run
       dune exec bench/main.exe -- --quick      # reduced sizes (CI)
       dune exec bench/main.exe -- --only fig13 # one experiment
-      dune exec bench/main.exe -- --list       # experiment ids *)
+      dune exec bench/main.exe -- --jobs 4     # parallel sweep cells
+      dune exec bench/main.exe -- --list       # experiment ids
+
+    The shared 58x71 sweep runs on the multicore harness; --jobs (or
+    ZKOPT_JOBS) sets the worker-domain count, defaulting to the
+    machine's recommended domain count. *)
 
 let experiments =
   [ "fig2"; "fig3"; "tab1"; "fig4"; "corr"; "fig5"; "fig6"; "subseq"; "fig7";
@@ -41,6 +46,17 @@ let () =
     | Some s -> int_of_string s
     | None -> if quick then 24 else 120
   in
+  let jobs =
+    let rec find = function
+      | "--jobs" :: n :: _ -> Some (int_of_string n)
+      | _ :: tl -> find tl
+      | [] -> None
+    in
+    match (find args, Sys.getenv_opt "ZKOPT_JOBS") with
+    | Some n, _ -> max 1 n
+    | None, Some s -> max 1 (int_of_string s)
+    | None, None -> Zkopt_exec.Pool.recommended_jobs ()
+  in
   let want id = match only with None -> true | Some o -> String.equal o id in
   let needs_sweep =
     List.exists want
@@ -56,8 +72,8 @@ let () =
     ga_iters;
   let sweep =
     if needs_sweep then begin
-      Printf.eprintf "running the 58x71 profile sweep...\n%!";
-      let s = Sweep.run ~size () in
+      Printf.eprintf "running the 58x71 profile sweep (%d jobs)...\n%!" jobs;
+      let s = Sweep.run ~jobs ~size () in
       Printf.eprintf "sweep done in %.1fs\n%!" (Unix.gettimeofday () -. t0);
       Some s
     end

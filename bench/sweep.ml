@@ -33,10 +33,14 @@ let profile_names = List.map Profile.name Profile.all_71
     append-only file and (unless [resume] is false) skips cells already
     recorded there, so an interrupted campaign continues where it
     stopped.  Failed cells land in [quarantined]; more than
-    [failure_budget] of them aborts with {!Harness.Budget_exceeded}. *)
+    [failure_budget] of them aborts with {!Harness.Budget_exceeded}.
+    [jobs] worker domains execute cells in parallel (results are
+    identical at any job count); [cache] shares compiled artifacts
+    across profiles, VM configs, and — with a disk-backed cache —
+    across runs. *)
 let run ?(progress = true) ?checkpoint ?(resume = true)
-    ?(faultplan = Zkopt_harness.Faultplan.none) ?(failure_budget = 32) ~size
-    () : t =
+    ?(faultplan = Zkopt_harness.Faultplan.none) ?(failure_budget = 32)
+    ?(jobs = 1) ?cache ~size () : t =
   let cfg =
     {
       (Harness.default ~size) with
@@ -45,6 +49,8 @@ let run ?(progress = true) ?checkpoint ?(resume = true)
       resume;
       faultplan;
       failure_budget;
+      jobs;
+      cache;
     }
   in
   let o = Harness.run cfg in

@@ -299,9 +299,36 @@ let sweepall_cmd =
              ~doc:"Measure at most N new cells then stop (the checkpoint \
                    keeps the rest resumable)")
   in
-  let run quick ckpt fresh budget limit =
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains executing sweep cells in parallel \
+                   (default: the recommended domain count of this \
+                   machine; results are identical at any job count)")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) (Some "_zkcache")
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"On-disk compile-cache directory, shared across runs \
+                   and versioned by schema tag (default: _zkcache)")
+  in
+  let no_disk_cache_arg =
+    Arg.(value & flag
+         & info [ "no-disk-cache" ]
+             ~doc:"Keep the compile cache in memory only (no _zkcache)")
+  in
+  let run quick ckpt fresh budget limit jobs cache_dir no_disk_cache =
     let module H = Zkopt_harness.Harness in
     let size = size_of_quick quick in
+    let jobs =
+      match jobs with
+      | Some n -> max 1 n
+      | None -> Zkopt_exec.Pool.recommended_jobs ()
+    in
+    let cache =
+      let dir = if no_disk_cache then None else cache_dir in
+      Zkopt_exec.Cache.create ?dir ()
+    in
     let cfg =
       {
         (H.default ~size) with
@@ -310,14 +337,22 @@ let sweepall_cmd =
         resume = not fresh;
         failure_budget = budget;
         limit;
+        jobs;
+        cache = Some cache;
       }
     in
     match H.run cfg with
     | o ->
       Printf.printf
         "sweep: %d points (%d resumed from checkpoint, %d measured now, %d \
-         fuel retries)\n"
-        (Hashtbl.length o.H.points) o.H.resumed o.H.executed o.H.retries;
+         fuel retries; %d jobs)\n"
+        (Hashtbl.length o.H.points) o.H.resumed o.H.executed o.H.retries jobs;
+      let s = o.H.cache_stats in
+      Printf.printf
+        "compile cache: %d mem + %d disk hits, %d compiles (%.1f%% hit rate)\n"
+        s.Zkopt_exec.Cache.hits s.Zkopt_exec.Cache.disk_hits
+        s.Zkopt_exec.Cache.misses
+        (Zkopt_exec.Cache.hit_rate_pct s);
       List.iter
         (fun ((c : Zkopt_harness.Error.coord), msg) ->
           Printf.printf "degraded: %s/%s: CPU model failed (%s); zkVM \
@@ -337,8 +372,10 @@ let sweepall_cmd =
   Cmd.v
     (Cmd.info "sweepall"
        ~doc:"Fault-tolerant full-matrix sweep (all programs x all profiles) \
-             with quarantine, retry, and checkpoint/resume")
-    Term.(const run $ quick_arg $ ckpt_arg $ fresh_arg $ budget_arg $ limit_arg)
+             with multicore execution, a content-addressed compile cache, \
+             quarantine, retry, and checkpoint/resume")
+    Term.(const run $ quick_arg $ ckpt_arg $ fresh_arg $ budget_arg
+          $ limit_arg $ jobs_arg $ cache_dir_arg $ no_disk_cache_arg)
 
 let autotune_cmd =
   let iters_arg =

@@ -1,20 +1,21 @@
 open Zkopt_ir
+module Seedfmt = Zkopt_devutil.Seedfmt
+
+let tool = "fuzz"
+
 let () =
   let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1500 in
-  let bad = ref 0 in
   for seed = 1 to n do
     let m = Randprog.generate ~seed () in
     Zkopt_runtime.Runtime.link m;
-    (try Verify.check m with Verify.Ill_formed msg ->
-      incr bad; Printf.printf "seed %d ILLFORMED: %s\n" seed msg);
-    (try
+    (try Verify.check m
+     with Verify.Ill_formed msg -> Seedfmt.fail ~tool ~seed "ILLFORMED %s" msg);
+    try
       let iv = Interp.checksum m in
       let ev, _ = Zkopt_riscv.Codegen.run m in
       let ev = Eval.norm32 (Int64.of_int32 ev) in
-      if not (Int64.equal iv ev) then begin
-        incr bad;
-        Printf.printf "seed %d MISMATCH interp=%Ld emu=%Ld\n" seed iv ev
-      end
-    with e -> incr bad; Printf.printf "seed %d EXN %s\n" seed (Printexc.to_string e))
+      if not (Int64.equal iv ev) then
+        Seedfmt.fail ~tool ~seed "MISMATCH interp=%Ld emu=%Ld" iv ev
+    with e -> Seedfmt.fail ~tool ~seed "EXN %s" (Printexc.to_string e)
   done;
-  Printf.printf "done, %d bad\n" !bad
+  Seedfmt.finish tool

@@ -1,10 +1,12 @@
 open Zkopt_ir
+module Seedfmt = Zkopt_devutil.Seedfmt
+
+let tool = "passfuzz"
 
 let () =
   let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 60 in
   let passes = Zkopt_passes.Catalog.all_passes () in
   Printf.printf "testing %d passes: %s\n%!" (List.length passes) (String.concat " " passes);
-  let bad = ref 0 in
   for seed = 1 to n do
     let base = Randprog.generate ~seed () in
     Zkopt_runtime.Runtime.link base;
@@ -15,22 +17,17 @@ let () =
         ignore (Zkopt_passes.Pass.run_one pname m);
         (try Verify.check m
          with Verify.Ill_formed msg ->
-           incr bad; Printf.printf "seed %d pass %s ILLFORMED: %s\n%!" seed pname msg);
+           Seedfmt.fail ~tool ~seed "pass %s ILLFORMED: %s" pname msg);
         let got = Interp.checksum m in
-        if not (Int64.equal got expected) then begin
-          incr bad;
-          Printf.printf "seed %d pass %s WRONG: %Lx vs %Lx\n%!" seed pname got expected
-        end;
+        if not (Int64.equal got expected) then
+          Seedfmt.fail ~tool ~seed "pass %s WRONG: %Lx vs %Lx" pname got expected;
         (* codegen differential too *)
         let ev, _ = Zkopt_riscv.Codegen.run m in
         let ev = Eval.norm32 (Int64.of_int32 ev) in
-        if not (Int64.equal ev expected) then begin
-          incr bad;
-          Printf.printf "seed %d pass %s CODEGEN WRONG: %Lx vs %Lx\n%!" seed pname ev expected
-        end
+        if not (Int64.equal ev expected) then
+          Seedfmt.fail ~tool ~seed "pass %s CODEGEN WRONG: %Lx vs %Lx" pname ev expected
       with e ->
-        incr bad;
-        Printf.printf "seed %d pass %s EXN: %s\n%!" seed pname (Printexc.to_string e)))
+        Seedfmt.fail ~tool ~seed "pass %s EXN: %s" pname (Printexc.to_string e)))
       passes;
     (* standard levels and the zkVM-aware pipeline *)
     List.iter (fun lvl ->
@@ -41,14 +38,11 @@ let () =
         let got = Interp.checksum m in
         let ev, _ = Zkopt_riscv.Codegen.run m in
         let ev = Eval.norm32 (Int64.of_int32 ev) in
-        if not (Int64.equal got expected && Int64.equal ev expected) then begin
-          incr bad;
-          Printf.printf "seed %d level %s WRONG %Lx/%Lx vs %Lx\n%!" seed
+        if not (Int64.equal got expected && Int64.equal ev expected) then
+          Seedfmt.fail ~tool ~seed "level %s WRONG %Lx/%Lx vs %Lx"
             (Zkopt_passes.Catalog.level_name lvl) got ev expected
-        end
       with e ->
-        incr bad;
-        Printf.printf "seed %d level %s EXN %s\n%!" seed
+        Seedfmt.fail ~tool ~seed "level %s EXN %s"
           (Zkopt_passes.Catalog.level_name lvl) (Printexc.to_string e))
       Zkopt_passes.Catalog.all_levels;
     (let m = Clone.modul base in
@@ -58,13 +52,10 @@ let () =
        let got = Interp.checksum m in
        let ev, _ = Zkopt_riscv.Codegen.run m in
        let ev = Eval.norm32 (Int64.of_int32 ev) in
-       if not (Int64.equal got expected && Int64.equal ev expected) then begin
-         incr bad;
-         Printf.printf "seed %d zkvm-O3 WRONG %Lx/%Lx vs %Lx\n%!" seed got ev expected
-       end
+       if not (Int64.equal got expected && Int64.equal ev expected) then
+         Seedfmt.fail ~tool ~seed "zkvm-O3 WRONG %Lx/%Lx vs %Lx" got ev expected
      with e ->
-       incr bad;
-       Printf.printf "seed %d zkvm-O3 EXN %s\n%!" seed (Printexc.to_string e));
+       Seedfmt.fail ~tool ~seed "zkvm-O3 EXN %s" (Printexc.to_string e));
     (* random pass sequences, both cost models *)
     let rng = Random.State.make [| seed * 7919 |] in
     for _ = 1 to 3 do
@@ -79,15 +70,12 @@ let () =
         let got = Interp.checksum m in
         let ev, _ = Zkopt_riscv.Codegen.run m in
         let ev = Eval.norm32 (Int64.of_int32 ev) in
-        if not (Int64.equal got expected) || not (Int64.equal ev expected) then begin
-          incr bad;
-          Printf.printf "seed %d seq [%s] WRONG interp=%Lx emu=%Lx expect=%Lx\n%!"
-            seed (String.concat ";" seq) got ev expected
-        end
+        if not (Int64.equal got expected) || not (Int64.equal ev expected) then
+          Seedfmt.fail ~tool ~seed "seq [%s] WRONG interp=%Lx emu=%Lx expect=%Lx"
+            (String.concat ";" seq) got ev expected
       with e ->
-        incr bad;
-        Printf.printf "seed %d seq [%s] EXN: %s\n%!" seed (String.concat ";" seq)
+        Seedfmt.fail ~tool ~seed "seq [%s] EXN: %s" (String.concat ";" seq)
           (Printexc.to_string e)
     done
   done;
-  Printf.printf "passfuzz done, %d bad\n" !bad
+  Seedfmt.finish tool

@@ -11,6 +11,9 @@ open Bechamel
 open Toolkit
 open Zkopt_riscv
 open Zkopt_zkvm
+module Seedfmt = Zkopt_devutil.Seedfmt
+
+let tool = "profcheck"
 
 let reference_run ?(fuel = 500_000_000) (cfg : Config.t) (cg : Codegen.t)
     (m : Zkopt_ir.Modul.t) : int =
@@ -103,9 +106,9 @@ let () =
   let live = Executor.run cfg cg m in
   let ref_cycles = reference_run cfg cg m in
   if live.Executor.total_cycles <> ref_cycles then begin
-    Printf.eprintf "profcheck: reference diverged (%d vs %d cycles)\n"
-      ref_cycles live.Executor.total_cycles;
-    exit 1
+    Seedfmt.fail ~tool "reference diverged (%d vs %d cycles) on workload %s"
+      ref_cycles live.Executor.total_cycles w.Zkopt_workloads.Workload.name;
+    Seedfmt.finish tool
   end;
   let t_ref =
     ns_per_run
@@ -120,8 +123,7 @@ let () =
     "profcheck: reference %.0f ns/run, live (hooks disabled) %.0f ns/run: \
      %+.1f%% (budget %.1f%%)\n"
     t_ref t_live pct max_pct;
-  if pct > max_pct then begin
-    Printf.eprintf
-      "profcheck: disabled-hooks executor regressed more than %.1f%%\n" max_pct;
-    exit 1
-  end
+  if pct > max_pct then
+    Seedfmt.fail ~tool
+      "disabled-hooks executor regressed %+.1f%%, budget %.1f%%" pct max_pct;
+  Seedfmt.finish tool

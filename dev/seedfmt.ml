@@ -1,0 +1,29 @@
+(** Canonical failure reporting for the dev fuzzers and gates.
+
+    Every failure path in [dev/] goes through {!fail}, which prints one
+    grep-able line in a single shared format:
+
+      FAIL tool=<tool> seed=<n> <message>
+
+    so a red run always surfaces the reproducer seed (tools without a
+    seed axis omit the field), and {!finish} turns any recorded failure
+    into a non-zero exit — a fuzzer that found a bug can no longer look
+    green to the smoke alias. *)
+
+let failures = ref 0
+
+let fail ~tool ?seed fmt =
+  incr failures;
+  let prefix =
+    match seed with
+    | Some s -> Printf.sprintf "FAIL tool=%s seed=%d " tool s
+    | None -> Printf.sprintf "FAIL tool=%s " tool
+  in
+  Printf.ksprintf (fun msg -> Printf.printf "%s%s\n%!" prefix msg) fmt
+
+let count () = !failures
+
+(** Print the run summary; exit 1 if any {!fail} was recorded. *)
+let finish tool =
+  Printf.printf "%s done, %d failure(s)\n%!" tool !failures;
+  if !failures > 0 then exit 1

@@ -1,0 +1,66 @@
+(* Multicore sweep smoke gate (dune build @smoke):
+
+   1. determinism — a 2-domain mini-sweep (3 programs x 9 profiles) must
+      reproduce the sequential run cell-for-cell;
+   2. memoization — re-running the same cells through a shared compile
+      cache must serve >90% of lookups without compiling (in practice
+      100%: every digest is resident after the first pass). *)
+
+open Zkopt_core
+module H = Zkopt_harness.Harness
+module Checkpoint = Zkopt_harness.Checkpoint
+module Cache = Zkopt_exec.Cache
+module Seedfmt = Zkopt_devutil.Seedfmt
+
+let tool = "sweepcheck"
+
+let canonical (points : (string * string, Zkopt_harness.Cell.point) Hashtbl.t) =
+  Hashtbl.fold (fun _ p acc -> Checkpoint.encode_point p :: acc) points []
+  |> List.sort compare |> String.concat "\n"
+
+let () =
+  let programs = [ "fibonacci"; "factorial"; "loop-sum" ] in
+  let profiles =
+    [
+      Profile.Baseline;
+      Profile.Single_pass "licm";
+      Profile.Single_pass "mem2reg";
+      Profile.Single_pass "gvn";
+      Profile.Single_pass "inline";
+      Profile.Single_pass "simplifycfg";
+      Profile.Level Zkopt_passes.Catalog.O1;
+      Profile.Level Zkopt_passes.Catalog.O2;
+      Profile.Level Zkopt_passes.Catalog.O3;
+    ]
+  in
+  let cfg jobs cache =
+    {
+      (H.default ~size:Zkopt_workloads.Workload.Quick) with
+      H.programs = Some programs;
+      profiles = Some profiles;
+      jobs;
+      cache;
+    }
+  in
+  let cells = List.length programs * List.length profiles in
+  let seq = H.run (cfg 1 None) in
+  if Hashtbl.length seq.H.points <> cells then
+    Seedfmt.fail ~tool "sequential run measured %d of %d cells"
+      (Hashtbl.length seq.H.points) cells;
+  let shared = Cache.create () in
+  let par = H.run (cfg 2 (Some shared)) in
+  if not (String.equal (canonical seq.H.points) (canonical par.H.points)) then
+    Seedfmt.fail ~tool "2-domain sweep diverged from the sequential run";
+  (* second pass over the same cells: the shared cache is warm, so
+     (almost) nothing may compile *)
+  let again = H.run (cfg 2 (Some shared)) in
+  if not (String.equal (canonical seq.H.points) (canonical again.H.points)) then
+    Seedfmt.fail ~tool "warm-cache sweep diverged from the sequential run";
+  let rate = Cache.hit_rate_pct again.H.cache_stats in
+  if rate <= 90.0 then
+    Seedfmt.fail ~tool "warm-cache hit rate %.1f%% (need >90%%)" rate;
+  Printf.printf
+    "sweepcheck: %d cells, 2-domain run deterministic, warm-cache hit rate \
+     %.1f%%\n"
+    cells rate;
+  Seedfmt.finish tool

@@ -1,10 +1,13 @@
 open Zkopt_ir
+module Seedfmt = Zkopt_devutil.Seedfmt
+
+let tool = "wlcheck"
+
 let () =
   let size = if Array.length Sys.argv > 1 && Sys.argv.(1) = "full" then Zkopt_workloads.Workload.Full else Zkopt_workloads.Workload.Quick in
-  let bad = ref 0 in
   List.iter (fun (w : Zkopt_workloads.Workload.t) ->
     let t0 = Unix.gettimeofday () in
-    (try
+    try
       let m = w.build size in
       Zkopt_runtime.Runtime.link m;
       Verify.check m;
@@ -12,12 +15,12 @@ let () =
       let ev, retired = Zkopt_riscv.Codegen.run m in
       let ev = Eval.norm32 (Int64.of_int32 ev) in
       let ok = Int64.equal iv ev in
-      if not ok then incr bad;
+      if not ok then
+        Seedfmt.fail ~tool "workload %s MISMATCH interp=%Lx emu=%Lx" w.name iv ev;
       Printf.printf "%-28s %-10s interp=%Lx emu=%Lx retired=%-9d %.2fs %s\n%!"
         w.name w.suite iv ev retired (Unix.gettimeofday () -. t0)
         (if ok then "ok" else "MISMATCH")
     with e ->
-      incr bad;
-      Printf.printf "%-28s EXN %s\n%!" w.name (Printexc.to_string e)))
+      Seedfmt.fail ~tool "workload %s EXN %s" w.name (Printexc.to_string e))
     (Zkopt_workloads.Suite.all ());
-  Printf.printf "workloads done, %d bad\n" !bad
+  Seedfmt.finish tool

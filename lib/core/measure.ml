@@ -32,18 +32,23 @@ type compiled = {
   static_instrs : int;
 }
 
-(** Materialize a program under a profile.  [build] must return a fresh
-    module each call.  The runtime library is linked before optimization
-    (so the whole image is optimized together, like LTO) and unreachable
-    functions are pruned afterwards, for every profile including the
-    baseline. *)
-let prepare ?(verify = true) ~(build : unit -> Modul.t) (profile : Profile.t) :
-    compiled =
+(** The IR half of {!prepare}: build a fresh module, link the runtime
+    (so the whole image is optimized together, like LTO), run the
+    profile's pass pipeline, prune unreachable functions, verify.  Split
+    out so a compile cache can digest the optimized module before paying
+    for code generation. *)
+let prepare_ir ?(verify = true) ~(build : unit -> Modul.t)
+    (profile : Profile.t) : Modul.t =
   let m = build () in
   Zkopt_runtime.Runtime.link m;
   Profile.apply profile m;
   ignore (Zkopt_passes.Pass.run_one "globaldce" m);
   if verify then Verify.check m;
+  m
+
+(** The codegen half of {!prepare}: lower an already-optimized module to
+    an assembled RV32 program plus its static-size stat. *)
+let compile_ir (m : Modul.t) : compiled =
   let codegen = Zkopt_riscv.Codegen.compile m in
   let static_instrs =
     List.fold_left
@@ -52,6 +57,13 @@ let prepare ?(verify = true) ~(build : unit -> Modul.t) (profile : Profile.t) :
       0 codegen.Zkopt_riscv.Codegen.stats
   in
   { modul = m; codegen; static_instrs }
+
+(** Materialize a program under a profile.  [build] must return a fresh
+    module each call.  Unreachable functions are pruned for every
+    profile including the baseline. *)
+let prepare ?(verify = true) ~(build : unit -> Modul.t) (profile : Profile.t) :
+    compiled =
+  compile_ir (prepare_ir ~verify ~build profile)
 
 (** Raw measurement: like {!run_zkvm} but returns the full {!Zkopt_zkvm.Vm}
     result (including the per-segment executor trace), which the harness's

@@ -1,0 +1,221 @@
+(** Content-addressed compile cache.
+
+    Artifacts (assembled RV32 programs plus their static-size stat) are
+    keyed by the {!Fingerprint} of the optimized IR module, so each
+    structurally distinct (program, profile) compilation happens once:
+    the two zkVM cost models share one artifact within a cell, profiles
+    that leave a program untouched share the baseline's artifact across
+    cells, and an optional on-disk store under [_zkcache/] memoizes
+    across runs.
+
+    Safe for concurrent use from many domains.  A single mutex guards
+    the table; compiles run outside the lock, and an in-flight set gives
+    single-flight semantics — when several workers want the same digest
+    at once, one compiles and the rest block on a condition variable and
+    pick up the result as a hit.  Sharing is sound because compilation
+    is deterministic and the cached {!Zkopt_riscv.Codegen.t} is
+    immutable after assembly.
+
+    The on-disk store is versioned by {!Fingerprint.schema}: artifacts
+    live under [dir/<schema>/<digest>], so a schema bump simply starts a
+    fresh namespace and stale artifacts are never deserialized.  Writes
+    go through a temp file + rename, making concurrent writers and
+    readers of the same digest safe (both produce identical bytes). *)
+
+type artifact = {
+  codegen : Zkopt_riscv.Codegen.t;
+  static_instrs : int;
+}
+
+type stats = {
+  hits : int;  (** served from memory (includes single-flight waiters) *)
+  disk_hits : int;  (** deserialized from the on-disk store *)
+  misses : int;  (** actual compiles performed *)
+  evictions : int;  (** LRU entries dropped to respect [capacity] *)
+}
+
+let zero_stats = { hits = 0; disk_hits = 0; misses = 0; evictions = 0 }
+
+let sub_stats a b =
+  {
+    hits = a.hits - b.hits;
+    disk_hits = a.disk_hits - b.disk_hits;
+    misses = a.misses - b.misses;
+    evictions = a.evictions - b.evictions;
+  }
+
+(** Fraction (in %) of lookups that did not compile. *)
+let hit_rate_pct s =
+  let total = s.hits + s.disk_hits + s.misses in
+  if total = 0 then 100.0
+  else 100.0 *. float_of_int (s.hits + s.disk_hits) /. float_of_int total
+
+type entry = { art : artifact; mutable last_use : int }
+
+type t = {
+  mu : Mutex.t;
+  ready : Condition.t;  (** an in-flight compile completed *)
+  capacity : int;  (** max in-memory entries; <= 0 = unbounded *)
+  table : (string, entry) Hashtbl.t;
+  inflight : (string, unit) Hashtbl.t;
+  dir : string option;
+  mutable tick : int;
+  mutable hits : int;
+  mutable disk_hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 512) ?dir () : t =
+  {
+    mu = Mutex.create ();
+    ready = Condition.create ();
+    capacity;
+    table = Hashtbl.create 256;
+    inflight = Hashtbl.create 16;
+    dir;
+    tick = 0;
+    hits = 0;
+    disk_hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let stats t : stats =
+  Mutex.lock t.mu;
+  let s =
+    {
+      hits = t.hits;
+      disk_hits = t.disk_hits;
+      misses = t.misses;
+      evictions = t.evictions;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+(* ---- on-disk store -------------------------------------------------- *)
+
+let schema_dirname =
+  String.map (function ':' -> '-' | c -> c) Fingerprint.schema
+
+let disk_path dir digest = Filename.concat (Filename.concat dir schema_dirname) digest
+
+let mkdir_p path =
+  let rec go p =
+    if not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Sys.mkdir p 0o755 with Sys_error _ -> ()
+    end
+  in
+  go path
+
+let disk_load t digest : artifact option =
+  match t.dir with
+  | None -> None
+  | Some dir -> (
+    let path = disk_path dir digest in
+    if not (Sys.file_exists path) then None
+    else
+      try
+        let ic = open_in_bin path in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> Some (Marshal.from_channel ic : artifact))
+      with _ -> None (* truncated/corrupt artifact: treat as a miss *))
+
+let disk_store t digest (art : artifact) =
+  match t.dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      let path = disk_path dir digest in
+      mkdir_p (Filename.dirname path);
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+          (Domain.self () :> int)
+      in
+      let oc = open_out_bin tmp in
+      Marshal.to_channel oc art [];
+      close_out oc;
+      Sys.rename tmp path
+    with _ -> () (* the disk store is an optimization, never a failure *))
+
+(* ---- in-memory LRU (called with [mu] held) -------------------------- *)
+
+let insert_locked t digest art =
+  t.tick <- t.tick + 1;
+  if t.capacity > 0 then
+    while Hashtbl.length t.table >= t.capacity do
+      let victim =
+        Hashtbl.fold
+          (fun k (e : entry) acc ->
+            match acc with
+            | Some (_, best) when best <= e.last_use -> acc
+            | _ -> Some (k, e.last_use))
+          t.table None
+      in
+      match victim with
+      | Some (k, _) ->
+        Hashtbl.remove t.table k;
+        t.evictions <- t.evictions + 1
+      | None -> Hashtbl.reset t.table
+    done;
+  Hashtbl.replace t.table digest { art; last_use = t.tick }
+
+(* ---- lookup --------------------------------------------------------- *)
+
+(** [get_or_compile t ~digest ~compile] returns the artifact for
+    [digest], compiling with [compile] only when neither memory, disk,
+    nor a concurrent in-flight compile can supply it. *)
+let get_or_compile t ~digest ~(compile : unit -> artifact) : artifact =
+  Mutex.lock t.mu;
+  let rec acquire () =
+    match Hashtbl.find_opt t.table digest with
+    | Some e ->
+      t.tick <- t.tick + 1;
+      e.last_use <- t.tick;
+      t.hits <- t.hits + 1;
+      `Hit e.art
+    | None ->
+      if Hashtbl.mem t.inflight digest then begin
+        (* another domain is compiling this digest: wait for it *)
+        Condition.wait t.ready t.mu;
+        acquire ()
+      end
+      else begin
+        Hashtbl.replace t.inflight digest ();
+        `Mine
+      end
+  in
+  match acquire () with
+  | `Hit art ->
+    Mutex.unlock t.mu;
+    art
+  | `Mine -> (
+    Mutex.unlock t.mu;
+    let finish ~from_disk art =
+      Mutex.lock t.mu;
+      if from_disk then t.disk_hits <- t.disk_hits + 1
+      else t.misses <- t.misses + 1;
+      insert_locked t digest art;
+      Hashtbl.remove t.inflight digest;
+      Condition.broadcast t.ready;
+      Mutex.unlock t.mu;
+      art
+    in
+    match disk_load t digest with
+    | Some art -> finish ~from_disk:true art
+    | None -> (
+      match compile () with
+      | art ->
+        let art = finish ~from_disk:false art in
+        disk_store t digest art;
+        art
+      | exception e ->
+        (* release waiters: one of them will take over the compile *)
+        Mutex.lock t.mu;
+        Hashtbl.remove t.inflight digest;
+        Condition.broadcast t.ready;
+        Mutex.unlock t.mu;
+        raise e))

@@ -1,0 +1,56 @@
+(** A double-ended work queue for the scheduler.
+
+    Not thread-safe on its own — the pool serializes access with its
+    mutex (see {!Pool}).  The owner drains from the front, i.e. in
+    submission order, which makes a 1-worker pool process cells exactly
+    like the old sequential sweep; thieves take from the back, the
+    opposite end, so a steal disturbs the owner's order as little as
+    possible.
+
+    Implemented as the classic two-list functional deque: amortized O(1)
+    at both ends, with an O(n) reversal when one side runs dry. *)
+
+type 'a t = { mutable front : 'a list; mutable back : 'a list }
+
+let create () = { front = []; back = [] }
+
+let is_empty d = d.front = [] && d.back = []
+
+let length d = List.length d.front + List.length d.back
+
+(** Append at the back (newest end). *)
+let push d x = d.back <- x :: d.back
+
+(** Owner's end: oldest element first (submission order). *)
+let pop_front d =
+  match d.front with
+  | x :: tl ->
+    d.front <- tl;
+    Some x
+  | [] -> (
+    match List.rev d.back with
+    | [] -> None
+    | x :: tl ->
+      d.back <- [];
+      d.front <- tl;
+      Some x)
+
+(** Thief's end: newest element first. *)
+let pop_back d =
+  match d.back with
+  | x :: tl ->
+    d.back <- tl;
+    Some x
+  | [] -> (
+    match List.rev d.front with
+    | [] -> None
+    | x :: tl ->
+      d.front <- [];
+      d.back <- tl;
+      Some x)
+
+let clear d =
+  let n = length d in
+  d.front <- [];
+  d.back <- [];
+  n

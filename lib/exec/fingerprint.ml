@@ -1,0 +1,62 @@
+(** Structural content addressing for compiled artifacts.
+
+    The compile cache keys on a digest of the *post-pipeline* IR module
+    plus a codegen-scheme tag: two sweep cells whose pass pipelines
+    produce structurally identical modules (a very common case — most
+    single-pass profiles leave most programs untouched) share one
+    compiled program, and an on-disk store can survive schema changes by
+    versioning on the tag.
+
+    The digest is structural, not physical: it covers globals (name,
+    initializer bytes), function signatures, attributes, block labels,
+    instructions and terminators — everything the code generator
+    consumes — and nothing else.  In particular [Func.next_reg] (the
+    fresh-register high-water mark) is excluded, and a {!Zkopt_ir.Clone}d
+    module digests identically to its original because cloning preserves
+    names, labels and register numbering. *)
+
+open Zkopt_ir
+
+(** Version tag for the whole (IR encoding, codegen) scheme.  Bump when
+    either the canonical encoding below or the code generator changes in
+    a way that invalidates cached artifacts. *)
+let schema = "zkopt-exec-v1:rv32-cg1"
+
+let add_global buf (g : Modul.global) =
+  Buffer.add_string buf "g ";
+  Buffer.add_string buf g.Modul.gname;
+  (match g.Modul.init with
+  | Modul.Zero n ->
+    Buffer.add_string buf " zero ";
+    Buffer.add_string buf (string_of_int n)
+  | Modul.Words ws ->
+    Buffer.add_string buf " words";
+    Array.iter
+      (fun w ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (Printf.sprintf "%lx" w))
+      ws);
+  Buffer.add_char buf '\n'
+
+let add_func buf (f : Func.t) =
+  (* Printer.func covers name, params, return type, block labels,
+     instructions and terminators in a deterministic rendering; function
+     attributes are not printed, so append them explicitly — they can
+     steer late pipeline stages and must not collide. *)
+  Buffer.add_string buf (Printer.func f);
+  let a = f.Func.attrs in
+  Buffer.add_string buf
+    (Printf.sprintf "attrs %b %b %b\n" a.Func.always_inline a.Func.no_inline
+       a.Func.internal)
+
+(** Canonical byte encoding of everything codegen-relevant in [m]. *)
+let encode (m : Modul.t) : string =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf schema;
+  Buffer.add_char buf '\n';
+  List.iter (add_global buf) m.Modul.globals;
+  List.iter (add_func buf) m.Modul.funcs;
+  Buffer.contents buf
+
+(** Hex digest of a module's canonical encoding. *)
+let of_modul (m : Modul.t) : string = Digest.to_hex (Digest.string (encode m))

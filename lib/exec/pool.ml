@@ -1,0 +1,160 @@
+(** Work-stealing domain pool.
+
+    [jobs] worker domains each own a {!Deque}; submitted tasks are dealt
+    round-robin across the deques, a worker drains its own deque in
+    submission order and steals from the back of a sibling's deque when
+    it runs dry.  All deques share one mutex/condition pair — tasks in
+    this codebase are milliseconds of compile + simulate work, so lock
+    traffic is noise — which keeps the scheduler small enough to reason
+    about the invariants that matter:
+
+    - every submitted task runs exactly once (no lost or duplicated
+      work), unless a task raises first;
+    - the first exception a task raises poisons the pool: queued tasks
+      are dropped, in-flight tasks finish, and {!wait} re-raises it on
+      the submitting domain;
+    - with [jobs = 1] tasks execute in exact submission order, so a
+      1-worker pool reproduces the old sequential sweep behavior.
+
+    The pool is reusable across waves: [submit]+[wait] any number of
+    times, then [shutdown] to join the domains. *)
+
+type task = unit -> unit
+
+type t = {
+  jobs : int;
+  mu : Mutex.t;
+  work : Condition.t;  (** new work, poison, or shutdown *)
+  idle : Condition.t;  (** all submitted work finished, or poison *)
+  deques : task Deque.t array;
+  mutable rr : int;  (** round-robin submission cursor *)
+  mutable unfinished : int;  (** submitted tasks not yet completed *)
+  mutable stop : bool;
+  mutable poison : exn option;  (** first task exception, re-raised by wait *)
+  mutable workers : unit Domain.t list;
+}
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let poison_locked pool e =
+  if pool.poison = None then begin
+    pool.poison <- Some e;
+    pool.stop <- true;
+    (* queued tasks will never run; stop counting them as pending *)
+    Array.iter
+      (fun d -> pool.unfinished <- pool.unfinished - Deque.clear d)
+      pool.deques;
+    Condition.broadcast pool.work;
+    Condition.broadcast pool.idle
+  end
+
+(* Called with [pool.mu] held: the worker's own deque front, else steal
+   from the back of the nearest non-empty sibling. *)
+let take_locked pool id =
+  match Deque.pop_front pool.deques.(id) with
+  | Some _ as t -> t
+  | None ->
+    let rec scan k =
+      if k = pool.jobs then None
+      else
+        match Deque.pop_back pool.deques.((id + k) mod pool.jobs) with
+        | Some _ as t -> t
+        | None -> scan (k + 1)
+    in
+    scan 1
+
+let worker pool id =
+  let rec loop () =
+    Mutex.lock pool.mu;
+    let rec next () =
+      if pool.stop then begin
+        Mutex.unlock pool.mu;
+        None
+      end
+      else
+        match take_locked pool id with
+        | Some t ->
+          Mutex.unlock pool.mu;
+          Some t
+        | None ->
+          Condition.wait pool.work pool.mu;
+          next ()
+    in
+    match next () with
+    | None -> ()
+    | Some task ->
+      (match task () with
+      | () -> ()
+      | exception e ->
+        Mutex.lock pool.mu;
+        poison_locked pool e;
+        Mutex.unlock pool.mu);
+      Mutex.lock pool.mu;
+      pool.unfinished <- pool.unfinished - 1;
+      if pool.unfinished = 0 then Condition.broadcast pool.idle;
+      Mutex.unlock pool.mu;
+      loop ()
+  in
+  loop ()
+
+let create ~jobs : t =
+  let jobs = max 1 jobs in
+  let pool =
+    {
+      jobs;
+      mu = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      deques = Array.init jobs (fun _ -> Deque.create ());
+      rr = 0;
+      unfinished = 0;
+      stop = false;
+      poison = None;
+      workers = [];
+    }
+  in
+  pool.workers <- List.init jobs (fun id -> Domain.spawn (fun () -> worker pool id));
+  pool
+
+(** Submit a task.  Dropped silently if the pool is already poisoned or
+    shut down (the poisoning exception still reaches the caller through
+    {!wait}). *)
+let submit pool task =
+  Mutex.lock pool.mu;
+  if not pool.stop then begin
+    Deque.push pool.deques.(pool.rr) task;
+    pool.rr <- (pool.rr + 1) mod pool.jobs;
+    pool.unfinished <- pool.unfinished + 1;
+    Condition.signal pool.work
+  end;
+  Mutex.unlock pool.mu
+
+(** Block until every submitted task has completed; re-raises the first
+    exception any task raised. *)
+let wait pool =
+  Mutex.lock pool.mu;
+  while pool.unfinished > 0 && pool.poison = None do
+    Condition.wait pool.idle pool.mu
+  done;
+  let p = pool.poison in
+  Mutex.unlock pool.mu;
+  match p with Some e -> raise e | None -> ()
+
+(** Join the worker domains.  Idempotent. *)
+let shutdown pool =
+  Mutex.lock pool.mu;
+  pool.stop <- true;
+  Condition.broadcast pool.work;
+  let workers = pool.workers in
+  pool.workers <- [];
+  Mutex.unlock pool.mu;
+  List.iter Domain.join workers
+
+(** [run ~jobs tasks]: one-shot pool over a task list. *)
+let run ~jobs (tasks : task list) =
+  let pool = create ~jobs in
+  Fun.protect
+    ~finally:(fun () -> shutdown pool)
+    (fun () ->
+      List.iter (submit pool) tasks;
+      wait pool)

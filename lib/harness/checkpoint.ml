@@ -156,3 +156,69 @@ let append (w : writer) (p : Cell.point) =
 let close (w : writer) =
   flush w.oc;
   close_out w.oc
+
+(* ---- single-writer domain -------------------------------------------- *)
+
+(** Serialized checkpoint writer for the parallel sweep.
+
+    Worker domains may complete cells concurrently, but the checkpoint
+    file must stay an append-only sequence of whole lines — interleaved
+    writes from two domains could shear a row.  All appends therefore
+    flow through one dedicated writer domain that drains a queue and
+    owns the [out_channel] exclusively; each queued point becomes one
+    atomic line, so the log is byte-deterministic modulo row order.
+    [async_close] drains the queue before closing, so every point
+    appended before the close reaches disk. *)
+type async_state = {
+  q : Cell.point Queue.t;
+  mu : Mutex.t;
+  cond : Condition.t;  (** new work or close requested *)
+  mutable closing : bool;
+}
+
+type async = { st : async_state; dom : unit Domain.t }
+
+let async ?every (path : string) : async =
+  let st =
+    {
+      q = Queue.create ();
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      closing = false;
+    }
+  in
+  let dom =
+    Domain.spawn (fun () ->
+        let w = create ?every path in
+        let rec loop () =
+          Mutex.lock st.mu;
+          while Queue.is_empty st.q && not st.closing do
+            Condition.wait st.cond st.mu
+          done;
+          let batch = List.rev (Queue.fold (fun acc p -> p :: acc) [] st.q) in
+          Queue.clear st.q;
+          let stop = st.closing in
+          Mutex.unlock st.mu;
+          List.iter (append w) batch;
+          if stop then close w else loop ()
+        in
+        loop ())
+  in
+  { st; dom }
+
+let async_append (a : async) (p : Cell.point) =
+  let st = a.st in
+  Mutex.lock st.mu;
+  Queue.push p st.q;
+  Condition.signal st.cond;
+  Mutex.unlock st.mu
+
+(** Drain outstanding appends, close the file, and join the writer
+    domain.  Call at most once. *)
+let async_close (a : async) =
+  let st = a.st in
+  Mutex.lock st.mu;
+  st.closing <- true;
+  Condition.signal st.cond;
+  Mutex.unlock st.mu;
+  Domain.join a.dom

@@ -1,8 +1,20 @@
 (** The fault-tolerant sweep engine.
 
     Turns the 58-program x 71-profile x 2-zkVM measurement campaign into
-    a resumable job engine:
+    a resumable, multicore job engine:
 
+    - cells execute on a work-stealing domain pool ({!Zkopt_exec.Pool});
+      [jobs = 1] reproduces the old sequential walk exactly, [jobs = N]
+      runs cells concurrently with identical results — cells are
+      independent measurements, the one cross-cell dependency (the
+      baseline-differential oracle) is honored by scheduling every
+      program's baseline cell in a first wave;
+    - each structurally distinct compilation happens once: the optimized
+      module is digested ({!Zkopt_exec.Fingerprint}) and the assembled
+      program fetched from a content-addressed cache
+      ({!Zkopt_exec.Cache}) shared by both zkVM configs, by profiles
+      that leave a program untouched, and (with a disk store) by
+      successive runs;
     - every cell runs under an exception barrier ({!Cell.protect}) and
       either yields a point or lands in a quarantine list with a typed
       {!Error.t} — one miscompile no longer kills the remaining ~8,000
@@ -13,14 +25,20 @@
       oracle (risc0-vs-sp1 within the cell, and profile-vs-baseline
       across cells) and the accounting conservation oracle
       ({!Cell.check_accounting});
-    - completed points stream to an append-only checkpoint file and a
-      resumed run skips already-done cells ({!Checkpoint});
+    - completed points stream to an append-only checkpoint file through
+      a single dedicated writer domain — rows are whole lines in
+      completion order, so the log is byte-deterministic modulo row
+      order — and a resumed run skips already-done cells
+      ({!Checkpoint});
     - a per-sweep failure budget bounds degradation: exceed it and the
       sweep aborts with a summary ({!Budget_exceeded});
     - graceful degradation: a CPU-model failure downgrades the cell to
       zkVM-only metrics instead of discarding it. *)
 
 open Zkopt_core
+module Pool = Zkopt_exec.Pool
+module Cache = Zkopt_exec.Cache
+module Fingerprint = Zkopt_exec.Fingerprint
 
 type config = {
   size : Zkopt_workloads.Workload.size;
@@ -37,6 +55,10 @@ type config = {
   limit : int option;
       (** measure at most this many new cells, then stop gracefully
           (time-slicing; the checkpoint keeps the rest resumable) *)
+  jobs : int;  (** worker domains; 1 = sequential cell order *)
+  cache : Cache.t option;
+      (** compile cache to use; [None] = a fresh private in-memory
+          cache per run.  Pass a shared cache to memoize across runs. *)
 }
 
 let default ~size =
@@ -52,6 +74,8 @@ let default ~size =
     faultplan = Faultplan.none;
     progress = false;
     limit = None;
+    jobs = 1;
+    cache = None;
   }
 
 type outcome = {
@@ -64,6 +88,7 @@ type outcome = {
   resumed : int;  (** cells loaded from the checkpoint *)
   retries : int;  (** extra attempts spent on fuel escalation *)
   completed : bool;  (** false when stopped by [limit] *)
+  cache_stats : Cache.stats;  (** compile-cache traffic of this run *)
 }
 
 let quarantine_report (errs : Error.t list) : string =
@@ -88,11 +113,13 @@ let quarantine_report (errs : Error.t list) : string =
 
 exception Budget_exceeded of Error.t list
 
-(** Measure one cell under the harness policies.  Returns the point, the
-    attempts consumed, and an optional degradation note (CPU model
-    failed; zkVM metrics kept). *)
-let measure_cell (cfg : config) (w : Zkopt_workloads.Workload.t)
-    (profile : Profile.t) : Cell.point * int * string option =
+(** Measure one cell under the harness policies.  Compilation goes
+    through the content-addressed [cache]; execution is always fresh.
+    Returns the point, the attempts consumed, and an optional
+    degradation note (CPU model failed; zkVM metrics kept). *)
+let measure_cell (cfg : config) (cache : Cache.t)
+    (w : Zkopt_workloads.Workload.t) (profile : Profile.t) :
+    Cell.point * int * string option =
   let pname = Profile.name profile in
   let build () = w.Zkopt_workloads.Workload.build cfg.size in
   let with_cpu =
@@ -102,7 +129,23 @@ let measure_cell (cfg : config) (w : Zkopt_workloads.Workload.t)
   in
   let (point, degraded), attempts =
     Retry.run cfg.retry (fun ~fuel ->
-        let c = Measure.prepare ~build profile in
+        let m = Measure.prepare_ir ~build profile in
+        let digest = Fingerprint.of_modul m in
+        let art =
+          Cache.get_or_compile cache ~digest ~compile:(fun () ->
+              let c = Measure.compile_ir m in
+              {
+                Cache.codegen = c.Measure.codegen;
+                static_instrs = c.Measure.static_instrs;
+              })
+        in
+        let c =
+          {
+            Measure.modul = m;
+            codegen = art.Cache.codegen;
+            static_instrs = art.Cache.static_instrs;
+          }
+        in
         let zk vm vmcfg =
           try
             let fault =
@@ -143,6 +186,11 @@ let measure_cell (cfg : config) (w : Zkopt_workloads.Workload.t)
   in
   (point, attempts, degraded)
 
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
 let run (cfg : config) : outcome =
   let all = Zkopt_workloads.Suite.all () in
   let programs =
@@ -163,100 +211,152 @@ let run (cfg : config) : outcome =
         incr resumed)
       (Checkpoint.load path)
   | _ -> ());
-  let writer =
-    Option.map (Checkpoint.create ~every:cfg.checkpoint_every) cfg.checkpoint
+  (* Pending cells in the canonical (program-major, profile-minor)
+     order.  [limit] slices a deterministic prefix of this order, so a
+     limited parallel run measures exactly the cells a limited
+     sequential run would. *)
+  let pending =
+    List.concat_map
+      (fun (w : Zkopt_workloads.Workload.t) ->
+        List.filter_map
+          (fun profile ->
+            let key = (w.Zkopt_workloads.Workload.name, Profile.name profile) in
+            if Hashtbl.mem points key then None else Some (w, profile))
+          profiles)
+      programs
   in
+  let pending, completed =
+    match cfg.limit with
+    | Some n when List.length pending > n -> (take n pending, false)
+    | _ -> (pending, true)
+  in
+  let cache =
+    match cfg.cache with Some c -> c | None -> Cache.create ()
+  in
+  let stats0 = Cache.stats cache in
+  let writer =
+    Option.map (Checkpoint.async ~every:cfg.checkpoint_every) cfg.checkpoint
+  in
+  (* Shared mutable sweep state; [mu] guards all of it plus [points]. *)
+  let mu = Mutex.create () in
   let quarantined = ref [] in
+  let nquarantined = ref 0 in
   let degraded = ref [] in
   let executed = ref 0 in
   let retries = ref 0 in
-  let completed = ref true in
   let total = List.length programs * List.length profiles in
   let quarantine (err : Error.t) =
+    Mutex.lock mu;
     quarantined := err :: !quarantined;
+    incr nquarantined;
     if cfg.progress then
       Printf.eprintf "  sweep: QUARANTINE %s\n%!" (Error.to_string err);
-    if List.length !quarantined > cfg.failure_budget then begin
-      Option.iter Checkpoint.close writer;
-      raise (Budget_exceeded (List.rev !quarantined))
-    end
+    let burst =
+      if !nquarantined > cfg.failure_budget then Some (List.rev !quarantined)
+      else None
+    in
+    Mutex.unlock mu;
+    match burst with
+    | Some errs -> raise (Budget_exceeded errs)
+    | None -> ()
+  in
+  let process ((w : Zkopt_workloads.Workload.t), profile) () =
+    let wname = w.Zkopt_workloads.Workload.name in
+    let pname = Profile.name profile in
+    let coord = { Error.program = wname; profile = pname; vm = "-" } in
+    let result =
+      Cell.protect ~coord (fun () -> measure_cell cfg cache w profile)
+    in
+    (match result with
+    | Error err -> quarantine err
+    | Ok (p, attempts, deg) -> (
+      Mutex.lock mu;
+      retries := !retries + attempts - 1;
+      Option.iter
+        (fun d ->
+          degraded := ({ coord with Error.vm = "cpu" }, d) :: !degraded)
+        deg;
+      (* the baseline point is stable here: baseline cells all complete
+         in wave 1, before any non-baseline cell runs *)
+      let baseline = Hashtbl.find_opt points (wname, "baseline") in
+      Mutex.unlock mu;
+      (* differential checksum oracles: the two zkVMs must agree within
+         the cell, and every profile must preserve the program's
+         baseline checksum *)
+      if
+        not
+          (Int64.equal p.Cell.r0.Measure.exit_value
+             p.Cell.sp1.Measure.exit_value)
+      then
+        quarantine
+          {
+            Error.coord = { coord with Error.vm = "sp1" };
+            kind =
+              Error.Miscompile
+                {
+                  expected = p.Cell.r0.Measure.exit_value;
+                  got = p.Cell.sp1.Measure.exit_value;
+                  oracle = "risc0-vs-sp1";
+                };
+          }
+      else
+        match baseline with
+        | Some (base : Cell.point)
+          when (not (String.equal pname "baseline"))
+               && not
+                    (Int64.equal base.Cell.r0.Measure.exit_value
+                       p.Cell.r0.Measure.exit_value) ->
+          quarantine
+            {
+              Error.coord = coord;
+              kind =
+                Error.Miscompile
+                  {
+                    expected = base.Cell.r0.Measure.exit_value;
+                    got = p.Cell.r0.Measure.exit_value;
+                    oracle = "baseline-differential";
+                  };
+            }
+        | _ ->
+          Mutex.lock mu;
+          Hashtbl.replace points (wname, pname) p;
+          Mutex.unlock mu;
+          Option.iter (fun wr -> Checkpoint.async_append wr p) writer));
+    Mutex.lock mu;
+    incr executed;
+    let report =
+      if cfg.progress && !executed mod 200 = 0 then
+        Some (Hashtbl.length points, !executed)
+      else None
+    in
+    Mutex.unlock mu;
+    match report with
+    | Some (done_, ex) ->
+      Printf.eprintf "  sweep: %d/%d (this run: %d)\n%!" done_ total ex
+    | None -> ()
+  in
+  (* Two waves: baselines first so the baseline-differential oracle sees
+     a program's baseline checksum (when measured at all) regardless of
+     how the scheduler interleaves the rest. *)
+  let wave1, wave2 =
+    List.partition
+      (fun (_, profile) -> String.equal (Profile.name profile) "baseline")
+      pending
+  in
+  let pool = Pool.create ~jobs:cfg.jobs in
+  let finish () =
+    Pool.shutdown pool;
+    Option.iter Checkpoint.async_close writer
   in
   (try
-     List.iter
-       (fun (w : Zkopt_workloads.Workload.t) ->
-         let wname = w.Zkopt_workloads.Workload.name in
-         List.iter
-           (fun profile ->
-             let pname = Profile.name profile in
-             let key = (wname, pname) in
-             if not (Hashtbl.mem points key) then begin
-               (match cfg.limit with
-               | Some n when !executed >= n ->
-                 completed := false;
-                 raise Exit
-               | _ -> ());
-               let coord =
-                 { Error.program = wname; profile = pname; vm = "-" }
-               in
-               (match Cell.protect ~coord (fun () -> measure_cell cfg w profile)
-                with
-               | Error err -> quarantine err
-               | Ok (p, attempts, deg) -> (
-                 retries := !retries + attempts - 1;
-                 Option.iter
-                   (fun d ->
-                     degraded :=
-                       ({ coord with Error.vm = "cpu" }, d) :: !degraded)
-                   deg;
-                 (* differential checksum oracles: the two zkVMs must
-                    agree within the cell, and every profile must
-                    preserve the program's baseline checksum *)
-                 if
-                   not
-                     (Int64.equal p.Cell.r0.Measure.exit_value
-                        p.Cell.sp1.Measure.exit_value)
-                 then
-                   quarantine
-                     {
-                       Error.coord = { coord with Error.vm = "sp1" };
-                       kind =
-                         Error.Miscompile
-                           {
-                             expected = p.Cell.r0.Measure.exit_value;
-                             got = p.Cell.sp1.Measure.exit_value;
-                             oracle = "risc0-vs-sp1";
-                           };
-                     }
-                 else
-                   match Hashtbl.find_opt points (wname, "baseline") with
-                   | Some (base : Cell.point)
-                     when (not (String.equal pname "baseline"))
-                          && not
-                               (Int64.equal base.Cell.r0.Measure.exit_value
-                                  p.Cell.r0.Measure.exit_value) ->
-                     quarantine
-                       {
-                         Error.coord = coord;
-                         kind =
-                           Error.Miscompile
-                             {
-                               expected = base.Cell.r0.Measure.exit_value;
-                               got = p.Cell.r0.Measure.exit_value;
-                               oracle = "baseline-differential";
-                             };
-                       }
-                   | _ ->
-                     Hashtbl.replace points key p;
-                     Option.iter (fun wr -> Checkpoint.append wr p) writer));
-               incr executed;
-               if cfg.progress && !executed mod 200 = 0 then
-                 Printf.eprintf "  sweep: %d/%d (this run: %d)\n%!"
-                   (Hashtbl.length points) total !executed
-             end)
-           profiles)
-       programs
-   with Exit -> ());
-  Option.iter Checkpoint.close writer;
+     List.iter (fun cell -> Pool.submit pool (process cell)) wave1;
+     Pool.wait pool;
+     List.iter (fun cell -> Pool.submit pool (process cell)) wave2;
+     Pool.wait pool
+   with e ->
+     finish ();
+     raise e);
+  finish ();
   {
     points;
     programs;
@@ -265,5 +365,6 @@ let run (cfg : config) : outcome =
     executed = !executed;
     resumed = !resumed;
     retries = !retries;
-    completed = !completed;
+    completed;
+    cache_stats = Cache.sub_stats (Cache.stats cache) stats0;
   }

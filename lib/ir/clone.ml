@@ -11,6 +11,7 @@ let func (f : Func.t) : Func.t =
     ret = f.ret;
     blocks = List.map block f.blocks;
     next_reg = f.next_reg;
+    next_label = f.next_label;
     attrs =
       {
         Func.always_inline = f.attrs.always_inline;

@@ -18,6 +18,7 @@ type t = {
   ret : Ty.t option;
   mutable blocks : Block.t list;
   mutable next_reg : int;
+  mutable next_label : int;
   attrs : attrs;
 }
 
@@ -27,7 +28,7 @@ let create ~name ~params ~ret =
   let next_reg =
     List.fold_left (fun acc (r, _) -> max acc (r + 1)) 0 params
   in
-  { name; params; ret; blocks = []; next_reg; attrs = default_attrs () }
+  { name; params; ret; blocks = []; next_reg; next_label = 0; attrs = default_attrs () }
 
 let fresh_reg f =
   let r = f.next_reg in
@@ -61,16 +62,18 @@ let iter_instrs f fn =
 let instr_count f =
   List.fold_left (fun acc b -> acc + Block.instr_count b) 0 f.blocks
 
-(* Fresh label unique within the function; [hint] keeps names readable. *)
-let fresh_label =
-  let counter = ref 0 in
-  fun f hint ->
-    let rec try_next () =
-      incr counter;
-      let label = Printf.sprintf "%s.%d" hint !counter in
-      if find_block f label = None then label else try_next ()
-    in
-    try_next ()
+(* Fresh label unique within the function; [hint] keeps names readable.
+   The counter lives in the function record — not in shared module state —
+   so generated names depend only on the function's own transformation
+   history.  That keeps printed IR (and hence compile-cache digests)
+   deterministic when sweep cells run on parallel worker domains. *)
+let fresh_label f hint =
+  let rec try_next () =
+    f.next_label <- f.next_label + 1;
+    let label = Printf.sprintf "%s.%d" hint f.next_label in
+    if find_block f label = None then label else try_next ()
+  in
+  try_next ()
 
 (** Registers assigned anywhere in the function, with static def counts.
     Registers with count 1 (and not a parameter) behave like SSA values. *)

@@ -309,6 +309,99 @@ let test_faultplan_selector () =
     (List.length sites)
     (List.length (List.sort_uniq compare sites))
 
+(* ---- multicore: differential oracle, fault partition, resume -------- *)
+
+(* A seeded sample of [n] profiles (baseline always included, for the
+   baseline-differential oracle). *)
+let seeded_profile_sample ~seed n =
+  let rng = Random.State.make [| seed |] in
+  let arr =
+    Array.of_list (List.filter (fun p -> p <> Profile.Baseline) Profile.all_71)
+  in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  Profile.Baseline :: Array.to_list (Array.sub arr 0 (n - 1))
+
+let test_parallel_matches_sequential () =
+  (* the differential oracle for the multicore engine: 2 programs x 21
+     seeded profiles = 42 cells; a 4-domain run must produce
+     cell-for-cell identical metrics to the sequential run *)
+  let profiles = seeded_profile_sample ~seed:2026 21 in
+  let cfg jobs =
+    {
+      (H.default ~size:Zkopt_workloads.Workload.Quick) with
+      H.programs = Some subset_programs;
+      profiles = Some profiles;
+      jobs;
+    }
+  in
+  let seq = H.run (cfg 1) in
+  let par = H.run (cfg 4) in
+  Alcotest.(check int) "42 cells" 42 (Hashtbl.length seq.H.points);
+  Alcotest.(check (list string)) "nothing quarantined" []
+    (List.map Error.to_string par.H.quarantined);
+  Alcotest.(check string) "cell-for-cell identical metrics"
+    (canonical seq.H.points) (canonical par.H.points);
+  (* the content-addressed cache dedupes profiles that leave a program
+     untouched, and never changes results while doing so *)
+  Alcotest.(check bool) "cache deduped some compiles" true
+    (par.H.cache_stats.Zkopt_exec.Cache.hits > 0)
+
+let test_parallel_faults_exactly_once () =
+  (* under random worker counts and injected faults, every cell lands in
+     exactly one of points / quarantine — none lost, none duplicated *)
+  let rng = Random.State.make [| 31337 |] in
+  let names = List.map Profile.name subset_profiles in
+  for trial = 1 to 3 do
+    let jobs = 1 + Random.State.int rng 8 in
+    let plan =
+      Faultplan.random ~seed:(100 + trial) ~count:3 ~programs:subset_programs
+        ~profiles:names ~vms:[ "risc0"; "sp1" ]
+        ~kinds:[ Faultplan.Dropped_page_out; Faultplan.Corrupt_exit_value ]
+    in
+    let o = H.run { (subset_cfg ()) with H.faultplan = plan; jobs } in
+    let measured = Hashtbl.fold (fun k _ acc -> k :: acc) o.H.points []
+    and failed =
+      List.map
+        (fun (e : Error.t) ->
+          (e.Error.coord.Error.program, e.Error.coord.Error.profile))
+        o.H.quarantined
+    in
+    let expected =
+      List.concat_map
+        (fun p -> List.map (fun prof -> (p, Profile.name prof)) subset_profiles)
+        subset_programs
+      |> List.sort compare
+    in
+    Alcotest.(check (list (pair string string)))
+      (Printf.sprintf "trial %d (jobs=%d): exact partition" trial jobs)
+      expected
+      (List.sort compare (measured @ failed))
+  done
+
+let test_parallel_kill_resume () =
+  (* kill a 3-domain sweep mid-run; the resumed 3-domain run replays to
+     the same completed-cell set as an uninterrupted sequential run *)
+  let path = Filename.temp_file "zkopt_ckpt_par" ".txt" in
+  Sys.remove path;
+  let uninterrupted = H.run (subset_cfg ()) in
+  let cfg = { (subset_cfg ()) with H.checkpoint = Some path; jobs = 3 } in
+  let partial = H.run { cfg with H.limit = Some 3; checkpoint_every = 1 } in
+  Alcotest.(check bool) "stopped early" false partial.H.completed;
+  Alcotest.(check int) "3 cells done" 3 (Hashtbl.length partial.H.points);
+  let resumed = H.run cfg in
+  Alcotest.(check bool) "completed" true resumed.H.completed;
+  Alcotest.(check int) "resumed cells" 3 resumed.H.resumed;
+  Alcotest.(check int) "newly executed" 5 resumed.H.executed;
+  Alcotest.(check string) "identical to the uninterrupted sequential run"
+    (canonical uninterrupted.H.points)
+    (canonical resumed.H.points);
+  Sys.remove path
+
 let tests =
   [
     Alcotest.test_case "error taxonomy classification" `Quick test_classification;
@@ -323,4 +416,10 @@ let tests =
     Alcotest.test_case "accounting oracles" `Quick test_accounting_oracle;
     Alcotest.test_case "failure budget aborts" `Quick test_failure_budget;
     Alcotest.test_case "seeded faultplan selector" `Quick test_faultplan_selector;
+    Alcotest.test_case "parallel sweep matches sequential (42 cells)" `Quick
+      test_parallel_matches_sequential;
+    Alcotest.test_case "no lost/duplicated cells under faults" `Quick
+      test_parallel_faults_exactly_once;
+    Alcotest.test_case "parallel kill/resume determinism" `Quick
+      test_parallel_kill_resume;
   ]

@@ -10,5 +10,6 @@ let () =
       ("infra", Test_infra.tests);
       ("workloads", Test_workloads.tests);
       ("harness", Test_harness.tests);
+      ("exec", Test_exec.tests);
       ("prof", Test_prof.tests);
     ]
