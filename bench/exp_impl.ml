@@ -24,20 +24,21 @@ let fig13 ~size sweep =
       let zk = Measure.prepare ~build Profile.Zkvm_o3 in
       let z0 = Measure.run_zkvm Zkopt_zkvm.Config.risc0 zk in
       let z1 = Measure.run_zkvm Zkopt_zkvm.Config.sp1 zk in
+      let o3_r0 = Sweep.r0 o3 and o3_sp1 = Sweep.sp1 o3 in
       let d0 =
-        Stats.improvement_pct ~base:o3.Sweep.r0.Measure.exec_time_s
+        Stats.improvement_pct ~base:o3_r0.Measure.exec_time_s
           z0.Measure.exec_time_s
       in
       let d1 =
-        Stats.improvement_pct ~base:o3.Sweep.sp1.Measure.exec_time_s
+        Stats.improvement_pct ~base:o3_sp1.Measure.exec_time_s
           z1.Measure.exec_time_s
       in
       let p0 =
-        Stats.improvement_pct ~base:o3.Sweep.r0.Measure.prove_time_s
+        Stats.improvement_pct ~base:o3_r0.Measure.prove_time_s
           z0.Measure.prove_time_s
       in
       let p1 =
-        Stats.improvement_pct ~base:o3.Sweep.sp1.Measure.prove_time_s
+        Stats.improvement_pct ~base:o3_sp1.Measure.prove_time_s
           z1.Measure.prove_time_s
       in
       deltas_r0 := d0 :: !deltas_r0;
@@ -50,7 +51,7 @@ let fig13 ~size sweep =
         rows :=
           [ w.Zkopt_workloads.Workload.name; Report.pct d0; Report.pct p0;
             Report.pct d1; Report.pct p1;
-            Printf.sprintf "%d->%d" o3.Sweep.sp1.Measure.segments
+            Printf.sprintf "%d->%d" o3_sp1.Measure.segments
               z1.Measure.segments ]
           :: !rows)
     sweep.Sweep.programs;
@@ -86,21 +87,21 @@ let fig14 sweep =
   in
   let native =
     med (fun p ->
-        match p.Sweep.cpu with
+        match p.Zkopt_harness.Cell.cpu with
         | Some c -> c.Measure.cpu_time_s
         | None -> nan)
   in
   Report.table
     ~headers:[ "operation"; "median (s)"; "vs native" ]
     [ [ "native (CPU model)"; Printf.sprintf "%.6f" native; "1x" ];
-      [ "R0 execution"; Printf.sprintf "%.4f" (med (fun p -> p.Sweep.r0.Measure.exec_time_s));
-        Printf.sprintf "%.0fx" (med (fun p -> p.Sweep.r0.Measure.exec_time_s) /. native) ];
-      [ "R0 proving"; Printf.sprintf "%.2f" (med (fun p -> p.Sweep.r0.Measure.prove_time_s));
-        Printf.sprintf "%.0fx" (med (fun p -> p.Sweep.r0.Measure.prove_time_s) /. native) ];
-      [ "SP1 execution"; Printf.sprintf "%.4f" (med (fun p -> p.Sweep.sp1.Measure.exec_time_s));
-        Printf.sprintf "%.0fx" (med (fun p -> p.Sweep.sp1.Measure.exec_time_s) /. native) ];
-      [ "SP1 proving"; Printf.sprintf "%.2f" (med (fun p -> p.Sweep.sp1.Measure.prove_time_s));
-        Printf.sprintf "%.0fx" (med (fun p -> p.Sweep.sp1.Measure.prove_time_s) /. native) ] ]
+      [ "R0 execution"; Printf.sprintf "%.4f" (med (fun p -> (Sweep.r0 p).Measure.exec_time_s));
+        Printf.sprintf "%.0fx" (med (fun p -> (Sweep.r0 p).Measure.exec_time_s) /. native) ];
+      [ "R0 proving"; Printf.sprintf "%.2f" (med (fun p -> (Sweep.r0 p).Measure.prove_time_s));
+        Printf.sprintf "%.0fx" (med (fun p -> (Sweep.r0 p).Measure.prove_time_s) /. native) ];
+      [ "SP1 execution"; Printf.sprintf "%.4f" (med (fun p -> (Sweep.sp1 p).Measure.exec_time_s));
+        Printf.sprintf "%.0fx" (med (fun p -> (Sweep.sp1 p).Measure.exec_time_s) /. native) ];
+      [ "SP1 proving"; Printf.sprintf "%.2f" (med (fun p -> (Sweep.sp1 p).Measure.prove_time_s));
+        Printf.sprintf "%.0fx" (med (fun p -> (Sweep.sp1 p).Measure.prove_time_s) /. native) ] ]
 
 let tab5 sweep =
   Report.section "Table 5 — baseline execution/proving statistics (all 58)";

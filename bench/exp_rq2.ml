@@ -70,7 +70,9 @@ let autotune_suites ~size ~iterations sweep =
             let build () = w.Zkopt_workloads.Workload.build size in
             let ga =
               Zkopt_autotune.Autotune.run ~seed:(Hashtbl.hash w.name)
-                ~iterations ~build vm_cfg
+                ~iterations
+                ~cycles:(Zkopt_autotune.Autotune.zkvm_cycles ~build vm_cfg)
+                ()
             in
             results := (w.name, label, ga) :: !results;
             (* measure the best genome end-to-end vs -O3 *)
@@ -84,7 +86,7 @@ let autotune_suites ~size ~iterations sweep =
             in
             let c = Zkopt_core.Measure.prepare ~build best_profile in
             let tuned = Zkopt_core.Measure.run_zkvm vm_cfg c in
-            let o3m = match vm with `R0 -> o3.Sweep.r0 | `Sp1 -> o3.Sweep.sp1 in
+            let o3m = Sweep.zk_of o3 vm in
             let exec_speedup =
               Stats.improvement_pct
                 ~base:o3m.Zkopt_core.Measure.exec_time_s

@@ -1,6 +1,10 @@
-(** The shared measurement sweep: 58 programs x 71 profiles x 2 zkVMs,
+(** The shared measurement sweep: 58 programs x 71 profiles x N backends,
     plus the CPU model for the baseline and single-pass profiles (RQ3).
     Results are computed once and shared by every RQ1/RQ2/RQ3 block.
+
+    The default backend list is the paper's risc0 + sp1 pair; cross-ISA
+    experiments ([exp_isa]) pass an explicit list that includes the
+    zk-native valida backend.
 
     The sweep itself runs on the fault-tolerant harness ([lib/harness]):
     a cell that miscompiles, traps, or fails an accounting oracle is
@@ -10,15 +14,9 @@
 
 open Zkopt_core
 module Harness = Zkopt_harness.Harness
+module Cell = Zkopt_harness.Cell
 
-type point = Zkopt_harness.Cell.point = {
-  program : string;
-  suite : string;
-  profile : string;
-  r0 : Measure.zk_metrics;
-  sp1 : Measure.zk_metrics;
-  cpu : Measure.cpu_metrics option;
-}
+type point = Zkopt_harness.Cell.point
 
 type t = {
   points : (string * string, point) Hashtbl.t; (* (program, profile) *)
@@ -36,11 +34,12 @@ let profile_names = List.map Profile.name Profile.all_71
     [failure_budget] of them aborts with {!Harness.Budget_exceeded}.
     [jobs] worker domains execute cells in parallel (results are
     identical at any job count); [cache] shares compiled artifacts
-    across profiles, VM configs, and — with a disk-backed cache —
-    across runs. *)
+    across profiles, backends of a codegen family, and — with a
+    disk-backed cache — across runs.  [backends] selects the measured
+    backend columns (default: registry risc0 + sp1). *)
 let run ?(progress = true) ?checkpoint ?(resume = true)
     ?(faultplan = Zkopt_harness.Faultplan.none) ?(failure_budget = 32)
-    ?(jobs = 1) ?cache ~size () : t =
+    ?(jobs = 1) ?cache ?backends ~size () : t =
   let cfg =
     {
       (Harness.default ~size) with
@@ -51,6 +50,7 @@ let run ?(progress = true) ?checkpoint ?(resume = true)
       failure_budget;
       jobs;
       cache;
+      backends;
     }
   in
   let o = Harness.run cfg in
@@ -65,10 +65,24 @@ let run ?(progress = true) ?checkpoint ?(resume = true)
 
 let get t program profile = Hashtbl.find t.points (program, profile)
 
+(** Backend selectors.  The classic pair keeps its short variant names;
+    [`Vm name] addresses any backend column in the point. *)
+type vm = [ `R0 | `Sp1 | `Vm of string ]
+
+let vm_name : vm -> string = function
+  | `R0 -> "risc0"
+  | `Sp1 -> "sp1"
+  | `Vm s -> s
+
+let zk (p : point) (name : string) = Cell.zk p name
+let zk_of (p : point) (vm : vm) = Cell.zk p (vm_name vm)
+let r0 (p : point) = zk p "risc0"
+let sp1 (p : point) = zk p "sp1"
+
 type metric = Cycles | Exec | Prove
 
-let value vm metric (p : point) =
-  let zk = match vm with `R0 -> p.r0 | `Sp1 -> p.sp1 in
+let value (vm : vm) metric (p : point) =
+  let zk = zk_of p vm in
   match metric with
   | Cycles -> float_of_int zk.Measure.cycles
   | Exec -> zk.Measure.exec_time_s
@@ -82,7 +96,9 @@ let improvement t ~program ~profile ~vm ~metric =
 
 (** CPU-model improvement (%) over baseline (RQ3). *)
 let cpu_improvement t ~program ~profile =
-  match ((get t program "baseline").cpu, (get t program profile).cpu) with
+  match
+    ((get t program "baseline").Cell.cpu, (get t program profile).Cell.cpu)
+  with
   | Some base, Some v ->
     Some
       (Zkopt_stats.Stats.improvement_pct ~base:base.Measure.cpu_time_s

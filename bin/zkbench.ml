@@ -3,6 +3,7 @@
     {v
     zkbench list                         # all 58 programs
     zkbench passes                       # the 64 swept passes
+    zkbench backends                     # the registered zkVM backends
     zkbench run fibonacci -O3            # measure one program
     zkbench run npb-lu --pass licm       # one pass vs baseline
     zkbench profile npb-lu --profile baseline --out base.prof
@@ -19,6 +20,16 @@
 open Cmdliner
 open Zkopt_core
 module Json = Zkopt_report.Json
+module Backend = Zkopt_backend.Backend
+module Registry = Zkopt_backend.Registry
+
+(* the valida backend registers itself at module init; force linkage *)
+let () = Zkopt_valida.Vbackend.ensure ()
+
+(** The one [--vm NAME] resolution point: every subcommand goes through
+    the registry, and a mistyped name lists what is registered. *)
+let resolve_backend name =
+  try Registry.find name with Invalid_argument msg -> failwith msg
 
 let find_workload name =
   Zkopt_workloads.Suite.check_composition ();
@@ -135,36 +146,70 @@ let json_arg =
   Arg.(value & flag
        & info [ "json" ] ~doc:"Emit machine-readable JSON instead of tables")
 
+(** Compile once per codegen family: backends sharing a schema share the
+    artifact, exactly like the sweep harness's compile cache. *)
+let compiled_family () =
+  let arts : (string, Backend.compiled) Hashtbl.t = Hashtbl.create 4 in
+  fun (m : Zkopt_ir.Modul.t) (b : Backend.t) ->
+    match Hashtbl.find_opt arts b.Backend.schema with
+    | Some c -> c
+    | None ->
+      let c = b.Backend.compile m in
+      Hashtbl.add arts b.Backend.schema c;
+      c
+
 let run_cmd =
   let run prog quick level pass zk_o3 json =
     let w = find_workload prog in
     let build () = w.Zkopt_workloads.Workload.build (size_of_quick quick) in
     let profile = profile_of ~level ~pass ~zk_o3 in
-    let c = Measure.prepare ~build profile in
-    let r0 = Measure.run_zkvm Zkopt_zkvm.Config.risc0 c in
-    let sp1 = Measure.run_zkvm Zkopt_zkvm.Config.sp1 c in
-    let cpu = Measure.run_cpu c in
+    let m = Measure.prepare_ir ~build profile in
+    let compiled_for = compiled_family () in
+    let backends = Registry.all () in
+    let zks =
+      List.map
+        (fun (b : Backend.t) ->
+          let c = compiled_for m b in
+          (c.Backend.measure ~vm:b.Backend.name ()).Backend.zk)
+        backends
+    in
+    let static_instrs =
+      (compiled_for m (List.hd backends)).Backend.static_instrs
+    in
+    let cpu =
+      List.find_map
+        (fun (b : Backend.t) -> (compiled_for m b).Backend.measure_cpu)
+        backends
+      |> Option.map (fun f -> f ?fuel:None ?attr:None ())
+    in
     if json then
       print_endline
         (Json.to_string
            (Json.Obj
-              [
-                ("program", Json.Str prog);
-                ("profile", Json.Str (Profile.name profile));
-                ("static_instrs", Json.Int c.Measure.static_instrs);
-                ("zkvms", Json.Arr [ json_of_zk r0; json_of_zk sp1 ]);
-                ("cpu", json_of_cpu cpu);
-              ]))
+              ([
+                 ("program", Json.Str prog);
+                 ("profile", Json.Str (Profile.name profile));
+                 ("static_instrs", Json.Int static_instrs);
+                 ("zkvms", Json.Arr (List.map json_of_zk zks));
+               ]
+              @
+              match cpu with
+              | Some c -> [ ("cpu", json_of_cpu c) ]
+              | None -> [])))
     else begin
       Printf.printf "%s under %s:\n" prog (Profile.name profile);
-      show_metrics r0;
-      show_metrics sp1;
-      Printf.printf "  %-6s %10.0f cycles  time %8.6fs  (CPU model)\n" "cpu"
-        cpu.Measure.cpu_cycles cpu.Measure.cpu_time_s;
-      Printf.printf "  static size: %d instructions\n" c.Measure.static_instrs
+      List.iter show_metrics zks;
+      (match cpu with
+      | Some cpu ->
+        Printf.printf "  %-6s %10.0f cycles  time %8.6fs  (CPU model)\n" "cpu"
+          cpu.Measure.cpu_cycles cpu.Measure.cpu_time_s
+      | None -> ());
+      Printf.printf "  static size: %d instructions\n" static_instrs
     end
   in
-  Cmd.v (Cmd.info "run" ~doc:"Measure one program under a profile")
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Measure one program under a profile on every registered backend")
     Term.(const run $ prog_arg $ quick_arg $ level_arg $ pass_arg $ zk_o3_arg
           $ json_arg)
 
@@ -177,7 +222,9 @@ let profile_cmd =
   in
   let vm_arg =
     Arg.(value & opt string "risc0"
-         & info [ "vm" ] ~docv:"VM" ~doc:"Cost model to attribute (risc0 or sp1)")
+         & info [ "vm" ] ~docv:"VM"
+             ~doc:"Backend to attribute (any registered backend; see \
+                   `zkbench backends`)")
   in
   let top_arg =
     Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows per table")
@@ -205,10 +252,12 @@ let profile_cmd =
       | Some n -> profile_by_name n
       | None -> profile_of ~level ~pass ~zk_o3
     in
-    let cfg = Zkopt_zkvm.Config.by_name vm in
-    let c = Measure.prepare ~build profile in
+    let b = resolve_backend vm in
+    let m = Measure.prepare_ir ~build profile in
+    let c = b.Backend.compile m in
     let label = Profile.name profile in
-    let metrics, prof = Zkopt_prof.Driver.profile_all ~label cfg c in
+    let metrics, prof = Zkopt_prof.Driver.profile_backend ~label b c in
+    let zk = metrics.Backend.zk in
     (match out with Some f -> Zkopt_prof.Profile.save prof f | None -> ());
     (match folded with
     | Some f ->
@@ -233,18 +282,16 @@ let profile_cmd =
                   ( "metrics",
                     Json.Obj
                       [
-                        ("vm", Json.Str metrics.Zkopt_zkvm.Vm.vm);
-                        ("cycles", Json.Int metrics.Zkopt_zkvm.Vm.cycles);
-                        ("segments", Json.Int metrics.Zkopt_zkvm.Vm.segments);
-                        ( "paging_cycles",
-                          Json.Int metrics.Zkopt_zkvm.Vm.paging_cycles );
+                        ("vm", Json.Str zk.Measure.vm);
+                        ("cycles", Json.Int zk.Measure.cycles);
+                        ("segments", Json.Int zk.Measure.segments);
+                        ("paging_cycles", Json.Int zk.Measure.paging_cycles);
                       ] );
                   ("profile", Zkopt_prof.Render.json_of_profile prof);
                 ]))
       else begin
         Printf.printf "%s under %s [vm=%s]: %d cycles, %d segments\n" prog
-          label metrics.Zkopt_zkvm.Vm.vm metrics.Zkopt_zkvm.Vm.cycles
-          metrics.Zkopt_zkvm.Vm.segments;
+          label zk.Measure.vm zk.Measure.cycles zk.Measure.segments;
         Zkopt_prof.Render.table ~top prof
       end
   in
@@ -317,9 +364,24 @@ let sweepall_cmd =
          & info [ "no-disk-cache" ]
              ~doc:"Keep the compile cache in memory only (no _zkcache)")
   in
-  let run quick ckpt fresh budget limit jobs cache_dir no_disk_cache =
+  let backends_arg =
+    Arg.(value & opt (some string) None
+         & info [ "backends" ] ~docv:"NAMES"
+             ~doc:"Comma-separated backend columns to measure (default: \
+                   risc0,sp1; see `zkbench backends`)")
+  in
+  let run quick ckpt fresh budget limit jobs cache_dir no_disk_cache backends =
     let module H = Zkopt_harness.Harness in
     let size = size_of_quick quick in
+    let backends =
+      Option.map
+        (fun s ->
+          List.map resolve_backend
+            (List.filter
+               (fun n -> n <> "")
+               (String.split_on_char ',' s)))
+        backends
+    in
     let jobs =
       match jobs with
       | Some n -> max 1 n
@@ -339,6 +401,7 @@ let sweepall_cmd =
         limit;
         jobs;
         cache = Some cache;
+        backends;
       }
     in
     match H.run cfg with
@@ -375,25 +438,34 @@ let sweepall_cmd =
              with multicore execution, a content-addressed compile cache, \
              quarantine, retry, and checkpoint/resume")
     Term.(const run $ quick_arg $ ckpt_arg $ fresh_arg $ budget_arg
-          $ limit_arg $ jobs_arg $ cache_dir_arg $ no_disk_cache_arg)
+          $ limit_arg $ jobs_arg $ cache_dir_arg $ no_disk_cache_arg
+          $ backends_arg)
 
 let autotune_cmd =
   let iters_arg =
     Arg.(value & opt int 80 & info [ "iters" ] ~doc:"GA evaluations")
   in
   let vm_arg =
-    Arg.(value & opt string "risc0" & info [ "vm" ] ~doc:"risc0 or sp1")
+    Arg.(value & opt string "risc0"
+         & info [ "vm" ] ~doc:"Backend to tune for (see `zkbench backends`)")
   in
   let run prog quick iters vm =
     let w = find_workload prog in
     let build () = w.Zkopt_workloads.Workload.build (size_of_quick quick) in
-    let cfg = Zkopt_zkvm.Config.by_name vm in
-    let ga = Zkopt_autotune.Autotune.run ~iterations:iters ~build cfg in
+    let b = resolve_backend vm in
+    let ga =
+      Zkopt_autotune.Autotune.run ~iterations:iters
+        ~cycles:(Zkopt_autotune.Autotune.backend_cycles ~build b)
+        ()
+    in
     let best = ga.Zkopt_autotune.Autotune.best in
     Printf.printf "best (%d cycles): %s\n" best.Zkopt_autotune.Autotune.fitness
       (String.concat " -> " best.Zkopt_autotune.Autotune.genome);
-    let o3 = Measure.prepare ~build (Profile.Level Zkopt_passes.Catalog.O3) in
-    let o3m = Measure.run_zkvm cfg o3 in
+    let o3 =
+      Measure.prepare_ir ~build (Profile.Level Zkopt_passes.Catalog.O3)
+    in
+    let c = b.Backend.compile o3 in
+    let o3m = (c.Backend.measure ~vm:b.Backend.name ()).Backend.zk in
     Printf.printf "-O3 reference: %d cycles (tuned is %+.1f%%)\n"
       o3m.Measure.cycles
       ((1.0
@@ -403,6 +475,19 @@ let autotune_cmd =
   in
   Cmd.v (Cmd.info "autotune" ~doc:"Genetic pass-sequence search for a program")
     Term.(const run $ prog_arg $ quick_arg $ iters_arg $ vm_arg)
+
+let backends_cmd =
+  let run () =
+    List.iter
+      (fun (b : Backend.t) ->
+        Printf.printf "%-8s %-10s schema %-12s %s\n" b.Backend.name
+          (if b.Backend.zk_native then "zk-native" else "rv32")
+          b.Backend.schema b.Backend.doc)
+      (Registry.all ())
+  in
+  Cmd.v
+    (Cmd.info "backends" ~doc:"List the registered zkVM backends")
+    Term.(const run $ const ())
 
 let asm_cmd =
   let run prog quick level pass zk_o3 =
@@ -430,5 +515,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; passes_cmd; run_cmd; profile_cmd; sweep_cmd;
-            sweepall_cmd; autotune_cmd; asm_cmd ]))
+          [ list_cmd; passes_cmd; backends_cmd; run_cmd; profile_cmd;
+            sweep_cmd; sweepall_cmd; autotune_cmd; asm_cmd ]))

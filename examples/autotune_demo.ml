@@ -12,8 +12,10 @@ let () =
   let build () = w.Zkopt_workloads.Workload.build Zkopt_workloads.Workload.Full in
   print_endline "autotuning npb-mg for RISC Zero (60 evaluations)...\n";
   let ga =
-    Zkopt_autotune.Autotune.run ~seed:42 ~iterations:60 ~build
-      Zkopt_zkvm.Config.risc0
+    Zkopt_autotune.Autotune.run ~seed:42 ~iterations:60
+      ~cycles:
+        (Zkopt_autotune.Autotune.zkvm_cycles ~build Zkopt_zkvm.Config.risc0)
+      ()
   in
   let best = ga.Zkopt_autotune.Autotune.best in
   Printf.printf "best sequence (%d cycles):\n  %s\n\n"

@@ -73,27 +73,42 @@ let crossover rng (a : genome) (b : genome) : genome =
     List.filteri (fun i _ -> i < max_depth) c
   | c -> c
 
-(** Fitness: zkVM cycle count under [vm] after applying the genome with
-    the standard cost model.  Failures (pathological sequences blowing
-    fuel) score worst. *)
-let evaluate ?fuel ~(build : unit -> Zkopt_ir.Modul.t)
+(** Fitness closure for the classic path: zkVM cycle count under [vm]
+    after applying the genome with the standard cost model. *)
+let zkvm_cycles ?fuel ~(build : unit -> Zkopt_ir.Modul.t)
     (vm : Zkopt_zkvm.Config.t) (g : genome) : int =
-  try
-    let profile = Zkopt_core.Profile.Custom (g, Pass.standard_config) in
-    let c = Zkopt_core.Measure.prepare ~build profile in
-    let m = Zkopt_core.Measure.run_zkvm ?fuel vm c in
-    m.Zkopt_core.Measure.cycles
-  with _ -> max_int
+  let profile = Zkopt_core.Profile.Custom (g, Pass.standard_config) in
+  let c = Zkopt_core.Measure.prepare ~build profile in
+  let m = Zkopt_core.Measure.run_zkvm ?fuel vm c in
+  m.Zkopt_core.Measure.cycles
+
+(** Fitness closure over an arbitrary registered backend: trace
+    rows/cycles of the backend's own cost model, so the GA can tune for
+    a zk-native ISA exactly as it tunes for the RV32 pair. *)
+let backend_cycles ?fuel ~(build : unit -> Zkopt_ir.Modul.t)
+    (b : Zkopt_backend.Backend.t) (g : genome) : int =
+  let profile = Zkopt_core.Profile.Custom (g, Pass.standard_config) in
+  let m = Zkopt_core.Measure.prepare_ir ~build profile in
+  let c = b.Zkopt_backend.Backend.compile m in
+  let r = c.Zkopt_backend.Backend.measure ~vm:b.Zkopt_backend.Backend.name ?fuel () in
+  r.Zkopt_backend.Backend.zk.Zkopt_core.Measure.cycles
+
+(** Guarded fitness: failures (pathological sequences blowing fuel, or
+    any compile/execute error) score worst. *)
+let evaluate ~(cycles : genome -> int) (g : genome) : int =
+  try cycles g with _ -> max_int
 
 (** Run the GA.  [iterations] counts genome evaluations (the paper uses
-    160 for the broad sweep and 1600 for the NPB/crypto deep dives). *)
-let run ?(seed = 1) ?(population = 16) ?(iterations = 160) ?fuel
-    ~(build : unit -> Zkopt_ir.Modul.t) (vm : Zkopt_zkvm.Config.t) : result =
+    160 for the broad sweep and 1600 for the NPB/crypto deep dives).
+    [cycles] is the raw fitness — build one with {!zkvm_cycles} or
+    {!backend_cycles}, or pass any [genome -> int]. *)
+let run ?(seed = 1) ?(population = 16) ?(iterations = 160)
+    ~(cycles : genome -> int) () : result =
   let rng = Random.State.make [| seed; 0x5eed |] in
   let evaluations = ref 0 in
   let eval g =
     incr evaluations;
-    { genome = g; fitness = evaluate ?fuel ~build vm g }
+    { genome = g; fitness = evaluate ~cycles g }
   in
   let cmp a b = compare a.fitness b.fitness in
   let pop = ref (List.sort cmp (List.init population (fun _ -> eval (random_genome rng)))) in

@@ -1,0 +1,44 @@
+(** Name-keyed backend registry.
+
+    The two RV32 cost configs register here at module initialization;
+    [lib/valida] self-registers when linked (callers force linkage with
+    [Zkopt_valida.Vbackend.ensure ()]).  Registration happens at module
+    init on the main domain; afterwards the table is read-only, so
+    lookups from worker domains are safe. *)
+
+module Config = Zkopt_zkvm.Config
+
+let table : (string, Backend.t) Hashtbl.t = Hashtbl.create 8
+let order : string list ref = ref []
+
+let register (b : Backend.t) =
+  if Hashtbl.mem table b.Backend.name then
+    invalid_arg ("backend already registered: " ^ b.Backend.name);
+  Hashtbl.replace table b.Backend.name b;
+  order := !order @ [ b.Backend.name ]
+
+(** Registered backend names, in registration order. *)
+let names () = !order
+
+let find_opt name = Hashtbl.find_opt table name
+
+(** Look up a backend; the error message lists what is registered, so a
+    mistyped [--vm] tells the user their options. *)
+let find name =
+  match find_opt name with
+  | Some b -> b
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown backend %S (registered: %s)" name
+         (String.concat ", " (names ())))
+
+(** All registered backends, in registration order. *)
+let all () = List.map (fun n -> Hashtbl.find table n) !order
+
+let () =
+  register
+    (Rv32.backend Config.risc0
+       ~doc:"RV32 transpilation, RISC Zero-style paging + segment costs");
+  register
+    (Rv32.backend Config.sp1
+       ~doc:"RV32 transpilation, SP1-style shard + memory-checking costs")

@@ -1,0 +1,70 @@
+(** The RV32 backend family: the existing codegen path (isel -> linear
+    scan regalloc -> RV32 assembly -> paging/segmented executor ->
+    single-trace STARK prover), instantiated once per cost config.
+
+    [risc0] and [sp1] share one compiled artifact per module digest —
+    they execute the identical instruction image and differ only in how
+    {!Zkopt_zkvm.Config} prices it — so {!Backend.compiled.measure}
+    resolves the config by backend name at measurement time. *)
+
+open Zkopt_ir
+module Measure = Zkopt_core.Measure
+module Config = Zkopt_zkvm.Config
+
+let schema = "rv32-cg1"
+
+(** Wrap an assembled RV32 compilation as a family-shared artifact. *)
+let of_compiled (c : Measure.compiled) : Backend.compiled =
+  let measure ~vm ?fault ?fuel ?attr () =
+    let cfg = Config.by_name vm in
+    let raw = Measure.run_zkvm_raw ?fault ?fuel ?attr cfg c in
+    {
+      Backend.zk = Measure.zk_of_vm raw;
+      accounting = Zkopt_zkvm.Vm.check_accounting cfg raw;
+      faulted = raw.Zkopt_zkvm.Vm.exec.Zkopt_zkvm.Executor.faulted;
+    }
+  in
+  let program = c.Measure.codegen.Zkopt_riscv.Codegen.program in
+  {
+    Backend.static_instrs = c.Measure.static_instrs;
+    site_of_pc = (fun pc -> Zkopt_riscv.Asm.site_of_pc program pc);
+    spills =
+      List.map
+        (fun (s : Zkopt_riscv.Codegen.func_stats) ->
+          ( s.Zkopt_riscv.Codegen.fname,
+            s.Zkopt_riscv.Codegen.spill_loads
+            + s.Zkopt_riscv.Codegen.spill_stores ))
+        c.Measure.codegen.Zkopt_riscv.Codegen.stats;
+    measure;
+    measure_cpu = Some (fun ?fuel ?attr () -> Measure.run_cpu ?fuel ?attr c);
+    encode =
+      (fun () ->
+        Some
+          (Marshal.to_string
+             (c.Measure.codegen, c.Measure.static_instrs)
+             []));
+  }
+
+let compile (m : Modul.t) : Backend.compiled =
+  of_compiled (Measure.compile_ir m)
+
+let decode (m : Modul.t) (s : string) : Backend.compiled option =
+  try
+    let (codegen : Zkopt_riscv.Codegen.t), (static_instrs : int) =
+      Marshal.from_string s 0
+    in
+    Some (of_compiled { Measure.modul = m; codegen; static_instrs })
+  with _ -> None
+
+let backend (cfg : Config.t) ~doc : Backend.t =
+  {
+    Backend.name = cfg.Config.name;
+    doc;
+    zk_native = false;
+    schema;
+    segment_pad =
+      (fun n ->
+        Zkopt_zkvm.Prover.next_pow2 (max (1 lsl cfg.Config.min_po2) n) - n);
+    compile;
+    decode;
+  }

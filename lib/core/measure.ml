@@ -72,6 +72,13 @@ let run_zkvm_raw ?fault ?fuel ?attr (cfg : Zkopt_zkvm.Config.t) (c : compiled) :
     Zkopt_zkvm.Vm.metrics =
   Zkopt_zkvm.Vm.measure ?fault ?fuel ?attr cfg c.codegen c.modul
 
+(** The single int32 -> int64 exit-value normalization point.  Raw RV32
+    executors journal a 32-bit word; everything above the backend boundary
+    carries the canonical zero-extended int64 (the {!Zkopt_ir.Value}
+    convention), so exit values from different backends compare with
+    [Int64.equal] directly. *)
+let exit64 (v : int32) : int64 = Eval.norm32 (Int64.of_int32 v)
+
 let zk_of_vm (r : Zkopt_zkvm.Vm.metrics) : zk_metrics =
   let e = r.Zkopt_zkvm.Vm.exec in
   {
@@ -85,7 +92,7 @@ let zk_of_vm (r : Zkopt_zkvm.Vm.metrics) : zk_metrics =
     page_outs = e.Zkopt_zkvm.Executor.page_outs;
     loads = e.Zkopt_zkvm.Executor.loads;
     stores = e.Zkopt_zkvm.Executor.stores;
-    exit_value = Eval.norm32 (Int64.of_int32 r.Zkopt_zkvm.Vm.exit_value);
+    exit_value = exit64 r.Zkopt_zkvm.Vm.exit_value;
   }
 
 let run_zkvm ?fault ?fuel (cfg : Zkopt_zkvm.Config.t) (c : compiled) : zk_metrics =
@@ -98,7 +105,7 @@ let run_cpu ?fuel ?attr (c : compiled) : cpu_metrics =
     cpu_time_s = r.Zkopt_cpu.Timing.time_s;
     mispredicts = r.Zkopt_cpu.Timing.mispredicts;
     cache_misses = r.Zkopt_cpu.Timing.cache_misses;
-    cpu_exit_value = Eval.norm32 (Int64.of_int32 r.Zkopt_cpu.Timing.exit_value);
+    cpu_exit_value = exit64 r.Zkopt_cpu.Timing.exit_value;
   }
 
 (** Convenience: metrics on both zkVMs for one profile, with a checksum

@@ -1,20 +1,27 @@
 (** Content-addressed compile cache.
 
-    Artifacts (assembled RV32 programs plus their static-size stat) are
-    keyed by the {!Fingerprint} of the optimized IR module, so each
-    structurally distinct (program, profile) compilation happens once:
-    the two zkVM cost models share one artifact within a cell, profiles
-    that leave a program untouched share the baseline's artifact across
-    cells, and an optional on-disk store under [_zkcache/] memoizes
-    across runs.
+    Compiled artifacts are keyed by the {!Fingerprint} of the optimized
+    IR module (suffixed by the owning backend's codegen-schema tag), so
+    each structurally distinct (program, profile, codegen family)
+    compilation happens once: backends that share a codegen path share
+    one artifact within a cell, profiles that leave a program untouched
+    share the baseline's artifact across cells, and an optional on-disk
+    store under [_zkcache/] memoizes across runs.
+
+    The cache is polymorphic in the artifact type.  Backend artifacts
+    hold closures (execution captures the program image) and closures
+    cannot be [Marshal]ed, so the disk half works through a per-call
+    {!codec}: [enc] serializes the pure data inside the artifact
+    ([None] = memory-only), [dec] rebinds closures around deserialized
+    bytes.  The codec is passed per *call*, not per cache, because
+    rebinding needs call-site context (the freshly prepared module).
 
     Safe for concurrent use from many domains.  A single mutex guards
     the table; compiles run outside the lock, and an in-flight set gives
     single-flight semantics — when several workers want the same digest
     at once, one compiles and the rest block on a condition variable and
     pick up the result as a hit.  Sharing is sound because compilation
-    is deterministic and the cached {!Zkopt_riscv.Codegen.t} is
-    immutable after assembly.
+    is deterministic and cached artifacts are immutable after assembly.
 
     The on-disk store is versioned by {!Fingerprint.schema}: artifacts
     live under [dir/<schema>/<digest>], so a schema bump simply starts a
@@ -22,10 +29,17 @@
     go through a temp file + rename, making concurrent writers and
     readers of the same digest safe (both produce identical bytes). *)
 
-type artifact = {
-  codegen : Zkopt_riscv.Codegen.t;
-  static_instrs : int;
+type 'a codec = {
+  enc : 'a -> string option;  (** [None] = this artifact is memory-only *)
+  dec : string -> 'a option;  (** [None] = stale/corrupt bytes: a miss *)
 }
+
+(** A codec for artifacts that are pure data (no closures). *)
+let marshal_codec () =
+  {
+    enc = (fun a -> Some (Marshal.to_string a []));
+    dec = (fun s -> try Some (Marshal.from_string s 0) with _ -> None);
+  }
 
 type stats = {
   hits : int;  (** served from memory (includes single-flight waiters) *)
@@ -50,13 +64,13 @@ let hit_rate_pct s =
   if total = 0 then 100.0
   else 100.0 *. float_of_int (s.hits + s.disk_hits) /. float_of_int total
 
-type entry = { art : artifact; mutable last_use : int }
+type 'a entry = { art : 'a; mutable last_use : int }
 
-type t = {
+type 'a t = {
   mu : Mutex.t;
   ready : Condition.t;  (** an in-flight compile completed *)
   capacity : int;  (** max in-memory entries; <= 0 = unbounded *)
-  table : (string, entry) Hashtbl.t;
+  table : (string, 'a entry) Hashtbl.t;
   inflight : (string, unit) Hashtbl.t;
   dir : string option;
   mutable tick : int;
@@ -66,7 +80,7 @@ type t = {
   mutable evictions : int;
 }
 
-let create ?(capacity = 512) ?dir () : t =
+let create ?(capacity = 512) ?dir () : _ t =
   {
     mu = Mutex.create ();
     ready = Condition.create ();
@@ -110,35 +124,41 @@ let mkdir_p path =
   in
   go path
 
-let disk_load t digest : artifact option =
-  match t.dir with
-  | None -> None
-  | Some dir -> (
+let disk_load t codec digest : 'a option =
+  match (t.dir, codec) with
+  | None, _ | _, None -> None
+  | Some dir, Some codec -> (
     let path = disk_path dir digest in
     if not (Sys.file_exists path) then None
     else
       try
         let ic = open_in_bin path in
-        Fun.protect
-          ~finally:(fun () -> close_in_noerr ic)
-          (fun () -> Some (Marshal.from_channel ic : artifact))
+        let bytes =
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> In_channel.input_all ic)
+        in
+        codec.dec bytes
       with _ -> None (* truncated/corrupt artifact: treat as a miss *))
 
-let disk_store t digest (art : artifact) =
-  match t.dir with
-  | None -> ()
-  | Some dir -> (
+let disk_store t codec digest art =
+  match (t.dir, codec) with
+  | None, _ | _, None -> ()
+  | Some dir, Some codec -> (
     try
-      let path = disk_path dir digest in
-      mkdir_p (Filename.dirname path);
-      let tmp =
-        Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
-          (Domain.self () :> int)
-      in
-      let oc = open_out_bin tmp in
-      Marshal.to_channel oc art [];
-      close_out oc;
-      Sys.rename tmp path
+      match codec.enc art with
+      | None -> ()
+      | Some bytes ->
+        let path = disk_path dir digest in
+        mkdir_p (Filename.dirname path);
+        let tmp =
+          Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+            (Domain.self () :> int)
+        in
+        let oc = open_out_bin tmp in
+        output_string oc bytes;
+        close_out oc;
+        Sys.rename tmp path
     with _ -> () (* the disk store is an optimization, never a failure *))
 
 (* ---- in-memory LRU (called with [mu] held) -------------------------- *)
@@ -149,7 +169,7 @@ let insert_locked t digest art =
     while Hashtbl.length t.table >= t.capacity do
       let victim =
         Hashtbl.fold
-          (fun k (e : entry) acc ->
+          (fun k (e : _ entry) acc ->
             match acc with
             | Some (_, best) when best <= e.last_use -> acc
             | _ -> Some (k, e.last_use))
@@ -165,10 +185,12 @@ let insert_locked t digest art =
 
 (* ---- lookup --------------------------------------------------------- *)
 
-(** [get_or_compile t ~digest ~compile] returns the artifact for
+(** [get_or_compile t ~digest ?codec ~compile] returns the artifact for
     [digest], compiling with [compile] only when neither memory, disk,
-    nor a concurrent in-flight compile can supply it. *)
-let get_or_compile t ~digest ~(compile : unit -> artifact) : artifact =
+    nor a concurrent in-flight compile can supply it.  Without [codec]
+    the on-disk store is bypassed for this call. *)
+let get_or_compile (type a) ?codec (t : a t) ~digest ~(compile : unit -> a) :
+    a =
   Mutex.lock t.mu;
   let rec acquire () =
     match Hashtbl.find_opt t.table digest with
@@ -204,13 +226,13 @@ let get_or_compile t ~digest ~(compile : unit -> artifact) : artifact =
       Mutex.unlock t.mu;
       art
     in
-    match disk_load t digest with
+    match disk_load t codec digest with
     | Some art -> finish ~from_disk:true art
     | None -> (
       match compile () with
       | art ->
         let art = finish ~from_disk:false art in
-        disk_store t digest art;
+        disk_store t codec digest art;
         art
       | exception e ->
         (* release waiters: one of them will take over the compile *)

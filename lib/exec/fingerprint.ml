@@ -17,10 +17,11 @@
 
 open Zkopt_ir
 
-(** Version tag for the whole (IR encoding, codegen) scheme.  Bump when
-    either the canonical encoding below or the code generator changes in
-    a way that invalidates cached artifacts. *)
-let schema = "zkopt-exec-v1:rv32-cg1"
+(** Version tag for the canonical IR encoding below.  Codegen-family
+    versioning lives in each backend's schema tag, which cache users
+    append to the digest ([digest ^ "+" ^ backend.schema]); bump this
+    tag when the encoding itself changes. *)
+let schema = "zkopt-exec-v2"
 
 let add_global buf (g : Modul.global) =
   Buffer.add_string buf "g ";

@@ -1,7 +1,7 @@
 (** One cell of the sweep matrix: a (program, profile) pair measured on
-    both zkVM cost models (plus the CPU model where the study needs it),
-    together with the exception barrier and the accounting oracles that
-    keep one bad cell from poisoning the rest of the campaign. *)
+    every backend in the sweep's backend list (plus the CPU model where
+    the study needs it), together with the exception barrier that keeps
+    one bad cell from poisoning the rest of the campaign. *)
 
 open Zkopt_core
 
@@ -9,10 +9,25 @@ type point = {
   program : string;
   suite : string;
   profile : string;
-  r0 : Measure.zk_metrics;
-  sp1 : Measure.zk_metrics;
+  zk : Measure.zk_metrics list;
+      (** one entry per backend, in the sweep's backend order; the head
+          backend is the differential-oracle reference *)
   cpu : Measure.cpu_metrics option;
 }
+
+(** The cell's metrics on backend [vm], if it was measured. *)
+let zk_opt (p : point) (vm : string) : Measure.zk_metrics option =
+  List.find_opt (fun (z : Measure.zk_metrics) -> String.equal z.Measure.vm vm) p.zk
+
+let zk (p : point) (vm : string) : Measure.zk_metrics =
+  match zk_opt p vm with
+  | Some z -> z
+  | None ->
+    invalid_arg
+      (Printf.sprintf "cell (%s, %s) has no %S metrics (measured: %s)"
+         p.program p.profile vm
+         (String.concat ", "
+            (List.map (fun (z : Measure.zk_metrics) -> z.Measure.vm) p.zk)))
 
 (** Exception barrier: run [f] and classify any escaping exception into
     an {!Error.t} carrying the cell's coordinates.  The [vm] coordinate
@@ -28,40 +43,7 @@ let protect ~(coord : Error.coord) (f : unit -> 'a) : ('a, Error.t) result =
     in
     Error { Error.coord; kind = Error.classify e }
 
-(** Accounting conservation oracles over a raw executor result.  In a
-    healthy executor both identities hold exactly:
-
-    - paging cycles = page-ins * page_in_cost + page-outs * page_out_cost
-    - total cycles  = sum over segments of (user + paging) cycles
-
-    A violation means the executor produced a trace whose cost totals do
-    not reconcile with its own event journal — the accounting-bug shape
-    of zkVM soundness failures (e.g. {!Zkopt_zkvm.Executor.fault}'s
-    [Dropped_page_out] and [Truncated_final_segment]). *)
-let check_accounting (cfg : Zkopt_zkvm.Config.t) (r : Zkopt_zkvm.Vm.metrics) :
-    (unit, string) result =
-  let e = r.Zkopt_zkvm.Vm.exec in
-  let module E = Zkopt_zkvm.Executor in
-  let expected_paging =
-    (e.E.page_ins * cfg.Zkopt_zkvm.Config.page_in_cost)
-    + (e.E.page_outs * cfg.Zkopt_zkvm.Config.page_out_cost)
-  in
-  if e.E.paging_cycles <> expected_paging then
-    Error
-      (Printf.sprintf
-         "paging cycles %d do not reconcile with events (%d ins * %d + %d \
-          outs * %d = %d)"
-         e.E.paging_cycles e.E.page_ins cfg.Zkopt_zkvm.Config.page_in_cost
-         e.E.page_outs cfg.Zkopt_zkvm.Config.page_out_cost expected_paging)
-  else
-    let seg_total =
-      List.fold_left
-        (fun acc (s : E.segment) -> acc + s.E.user_cycles + s.E.paging_cycles)
-        0 e.E.segments
-    in
-    if seg_total <> e.E.total_cycles then
-      Error
-        (Printf.sprintf
-           "segment trace sums to %d cycles but the executor reported %d"
-           seg_total e.E.total_cycles)
-    else Ok ()
+(** The RV32 accounting conservation oracle (see
+    {!Zkopt_zkvm.Vm.check_accounting}, where it now lives; backends
+    evaluate their own oracle inside {!Zkopt_backend.Backend.measurement}). *)
+let check_accounting = Zkopt_zkvm.Vm.check_accounting

@@ -6,11 +6,17 @@
     notation — so a killed-and-resumed sweep reproduces the uninterrupted
     run byte for byte.  Undecodable lines (e.g. a final line truncated by
     a kill mid-write) are skipped on load, which makes resume safe after
-    a crash at any byte offset. *)
+    a crash at any byte offset.
+
+    v2 rows carry a backend count followed by that many metric groups
+    (a point measures an arbitrary backend list, not a fixed pair).
+    v1 rows — which had exactly two unlabeled groups — fail the count
+    parse and are skipped, so resuming over an old checkpoint simply
+    re-measures those cells instead of mis-decoding them. *)
 
 open Zkopt_core
 
-let version = "zkopt-ckpt-v1"
+let version = "zkopt-ckpt-v2"
 
 let encode_zk (z : Measure.zk_metrics) : string =
   String.concat "\t"
@@ -41,14 +47,15 @@ let encode_cpu (c : Measure.cpu_metrics) : string =
 let encode_point (p : Cell.point) : string =
   String.concat "\t"
     ([ p.Cell.program; p.Cell.suite; p.Cell.profile ]
-    @ [ encode_zk p.Cell.r0; encode_zk p.Cell.sp1 ]
+    @ [ string_of_int (List.length p.Cell.zk) ]
+    @ List.map encode_zk p.Cell.zk
     @ [
         (match p.Cell.cpu with
         | None -> "-"
         | Some c -> "cpu\t" ^ encode_cpu c);
       ])
 
-(* field counts: 3 header + 11 per zk + 1 "-" | 1 "cpu" + 5 *)
+(* field counts: 3 header + 1 count + 11 per zk + 1 "-" | 1 "cpu" + 5 *)
 
 let decode_zk fields =
   match fields with
@@ -93,20 +100,30 @@ let rec drop n l =
 
 let decode_point (line : string) : Cell.point option =
   match String.split_on_char '\t' line with
-  | program :: suite :: profile :: rest when List.length rest >= 23 -> (
+  | program :: suite :: profile :: count :: rest -> (
     try
-      let r0 = decode_zk (take 11 rest) in
-      let sp1 = decode_zk (take 11 (drop 11 rest)) in
-      let cpu =
-        match drop 22 rest with
-        | [ "-" ] -> Some None
-        | "cpu" :: cpu_fields -> Option.map Option.some (decode_cpu cpu_fields)
-        | _ -> None
-      in
-      match (r0, sp1, cpu) with
-      | Some r0, Some sp1, Some cpu ->
-        Some { Cell.program; suite; profile; r0; sp1; cpu }
-      | _ -> None
+      let n = int_of_string count in
+      if n <= 0 || List.length rest < (n * 11) + 1 then None
+      else
+        let rec groups k rest acc =
+          if k = 0 then Some (List.rev acc, rest)
+          else
+            match decode_zk (take 11 rest) with
+            | Some z -> groups (k - 1) (drop 11 rest) (z :: acc)
+            | None -> None
+        in
+        match groups n rest [] with
+        | None -> None
+        | Some (zk, rest) -> (
+          let cpu =
+            match rest with
+            | [ "-" ] -> Some None
+            | "cpu" :: cpu_fields -> Option.map Option.some (decode_cpu cpu_fields)
+            | _ -> None
+          in
+          match cpu with
+          | Some cpu -> Some { Cell.program; suite; profile; zk; cpu }
+          | None -> None)
     with _ -> None)
   | _ -> None
 

@@ -1,7 +1,10 @@
 (** The fault-tolerant sweep engine.
 
-    Turns the 58-program x 71-profile x 2-zkVM measurement campaign into
-    a resumable, multicore job engine:
+    Turns the 58-program x 71-profile x N-backend measurement campaign
+    into a resumable, multicore job engine.  Backends are
+    {!Zkopt_backend.Backend.t} values (default: the risc0 + sp1 pair
+    from the registry), so the engine is generic over ISAs — a zk-native
+    backend slots in as a third column, not a new code path:
 
     - cells execute on a work-stealing domain pool ({!Zkopt_exec.Pool});
       [jobs = 1] reproduces the old sequential walk exactly, [jobs = N]
@@ -12,9 +15,9 @@
     - each structurally distinct compilation happens once: the optimized
       module is digested ({!Zkopt_exec.Fingerprint}) and the assembled
       program fetched from a content-addressed cache
-      ({!Zkopt_exec.Cache}) shared by both zkVM configs, by profiles
-      that leave a program untouched, and (with a disk store) by
-      successive runs;
+      ({!Zkopt_exec.Cache}) shared by every backend of a codegen family,
+      by profiles that leave a program untouched, and (with a disk
+      store) by successive runs;
     - every cell runs under an exception barrier ({!Cell.protect}) and
       either yields a point or lands in a quarantine list with a typed
       {!Error.t} — one miscompile no longer kills the remaining ~8,000
@@ -22,9 +25,10 @@
     - fuel exhaustion retries with an escalating budget ({!Retry});
       deterministic faults do not retry;
     - two oracles guard every measured cell: the differential checksum
-      oracle (risc0-vs-sp1 within the cell, and profile-vs-baseline
-      across cells) and the accounting conservation oracle
-      ({!Cell.check_accounting});
+      oracle (every backend vs. the head backend within the cell, and
+      profile-vs-baseline across cells) and each backend's own
+      accounting conservation oracle
+      ({!Zkopt_backend.Backend.measurement});
     - completed points stream to an append-only checkpoint file through
       a single dedicated writer domain — rows are whole lines in
       completion order, so the log is byte-deterministic modulo row
@@ -39,6 +43,8 @@ open Zkopt_core
 module Pool = Zkopt_exec.Pool
 module Cache = Zkopt_exec.Cache
 module Fingerprint = Zkopt_exec.Fingerprint
+module Backend = Zkopt_backend.Backend
+module Registry = Zkopt_backend.Registry
 
 type config = {
   size : Zkopt_workloads.Workload.size;
@@ -56,9 +62,13 @@ type config = {
       (** measure at most this many new cells, then stop gracefully
           (time-slicing; the checkpoint keeps the rest resumable) *)
   jobs : int;  (** worker domains; 1 = sequential cell order *)
-  cache : Cache.t option;
+  cache : Backend.compiled Cache.t option;
       (** compile cache to use; [None] = a fresh private in-memory
           cache per run.  Pass a shared cache to memoize across runs. *)
+  backends : Backend.t list option;
+      (** backends to measure each cell on, in order; the head backend
+          is the differential-oracle reference.  [None] = the classic
+          risc0 + sp1 pair from the registry. *)
 }
 
 let default ~size =
@@ -76,7 +86,25 @@ let default ~size =
     limit = None;
     jobs = 1;
     cache = None;
+    backends = None;
   }
+
+(** Resolve the sweep's backend list (non-empty, unique names). *)
+let backends_of (cfg : config) : Backend.t list =
+  let bs =
+    match cfg.backends with
+    | Some [] -> invalid_arg "Harness: empty backend list"
+    | Some bs -> bs
+    | None -> [ Registry.find "risc0"; Registry.find "sp1" ]
+  in
+  let seen = Hashtbl.create 4 in
+  List.iter
+    (fun (b : Backend.t) ->
+      if Hashtbl.mem seen b.Backend.name then
+        invalid_arg ("Harness: duplicate backend " ^ b.Backend.name);
+      Hashtbl.replace seen b.Backend.name ())
+    bs;
+  bs
 
 type outcome = {
   points : (string * string, Cell.point) Hashtbl.t;  (** (program, profile) *)
@@ -114,14 +142,17 @@ let quarantine_report (errs : Error.t list) : string =
 exception Budget_exceeded of Error.t list
 
 (** Measure one cell under the harness policies.  Compilation goes
-    through the content-addressed [cache]; execution is always fresh.
+    through the content-addressed [cache], keyed by module digest plus
+    the backend's codegen-schema tag — backends sharing a codegen family
+    (risc0/sp1) share one artifact per cell; execution is always fresh.
     Returns the point, the attempts consumed, and an optional
     degradation note (CPU model failed; zkVM metrics kept). *)
-let measure_cell (cfg : config) (cache : Cache.t)
+let measure_cell (cfg : config) (cache : Backend.compiled Cache.t)
     (w : Zkopt_workloads.Workload.t) (profile : Profile.t) :
     Cell.point * int * string option =
   let pname = Profile.name profile in
   let build () = w.Zkopt_workloads.Workload.build cfg.size in
+  let backends = backends_of cfg in
   let with_cpu =
     match profile with
     | Profile.Baseline | Profile.Single_pass _ -> true
@@ -131,40 +162,59 @@ let measure_cell (cfg : config) (cache : Cache.t)
     Retry.run cfg.retry (fun ~fuel ->
         let m = Measure.prepare_ir ~build profile in
         let digest = Fingerprint.of_modul m in
-        let art =
-          Cache.get_or_compile cache ~digest ~compile:(fun () ->
-              let c = Measure.compile_ir m in
+        (* per-cell memo over the shared cache so every backend of a
+           codegen family resolves its artifact exactly once per attempt *)
+        let arts : (string, Backend.compiled) Hashtbl.t = Hashtbl.create 4 in
+        let compiled_for (b : Backend.t) : Backend.compiled =
+          match Hashtbl.find_opt arts b.Backend.schema with
+          | Some c -> c
+          | None ->
+            let codec =
               {
-                Cache.codegen = c.Measure.codegen;
-                static_instrs = c.Measure.static_instrs;
-              })
+                Cache.enc = (fun (c : Backend.compiled) -> c.Backend.encode ());
+                dec = (fun s -> b.Backend.decode m s);
+              }
+            in
+            let c =
+              Cache.get_or_compile cache
+                ~digest:(digest ^ "+" ^ b.Backend.schema)
+                ~codec
+                ~compile:(fun () -> b.Backend.compile m)
+            in
+            Hashtbl.replace arts b.Backend.schema c;
+            c
         in
-        let c =
-          {
-            Measure.modul = m;
-            codegen = art.Cache.codegen;
-            static_instrs = art.Cache.static_instrs;
-          }
-        in
-        let zk vm vmcfg =
+        let zk_of (b : Backend.t) =
+          let vm = b.Backend.name in
           try
+            let c = compiled_for b in
             let fault =
               Faultplan.executor_fault cfg.faultplan ~program:w.name
                 ~profile:pname ~vm
             in
-            let raw = Measure.run_zkvm_raw ?fault ~fuel vmcfg c in
-            (match Cell.check_accounting vmcfg raw with
+            let r = c.Backend.measure ~vm ?fault ~fuel () in
+            (match r.Backend.accounting with
             | Ok () -> ()
             | Error msg -> raise (Error.Accounting msg));
-            Measure.zk_of_vm raw
+            r.Backend.zk
           with e -> raise (Error.In_vm (vm, e))
         in
-        let r0 = zk "risc0" Zkopt_zkvm.Config.risc0 in
-        let sp1 = zk "sp1" Zkopt_zkvm.Config.sp1 in
-        let cpu, degraded =
-          if not with_cpu then (None, None)
+        let zk = List.map zk_of backends in
+        (* the CPU contrast model runs off the first backend that can
+           drive it (an RV32 instruction stream); a zk-native-only sweep
+           simply has no CPU column *)
+        let run_cpu =
+          if not with_cpu then None
           else
-            match Measure.run_cpu ~fuel c with
+            List.find_map
+              (fun (b : Backend.t) -> (compiled_for b).Backend.measure_cpu)
+              backends
+        in
+        let cpu, degraded =
+          match run_cpu with
+          | None -> (None, None)
+          | Some run -> (
+            match run ~fuel () with
             | m -> (Some m, None)
             | exception Zkopt_riscv.Emulator.Out_of_fuel f ->
               (* transient: let the retry policy escalate the budget *)
@@ -172,14 +222,13 @@ let measure_cell (cfg : config) (cache : Cache.t)
             | exception e ->
               (* deterministic CPU-model failure: degrade gracefully and
                  keep the zkVM metrics rather than losing the cell *)
-              (None, Some (Printexc.to_string e))
+              (None, Some (Printexc.to_string e)))
         in
         ( {
             Cell.program = w.Zkopt_workloads.Workload.name;
             suite = w.Zkopt_workloads.Workload.suite;
             profile = pname;
-            r0;
-            sp1;
+            zk;
             cpu;
           },
           degraded ))
@@ -280,40 +329,47 @@ let run (cfg : config) : outcome =
          in wave 1, before any non-baseline cell runs *)
       let baseline = Hashtbl.find_opt points (wname, "baseline") in
       Mutex.unlock mu;
-      (* differential checksum oracles: the two zkVMs must agree within
-         the cell, and every profile must preserve the program's
-         baseline checksum *)
-      if
-        not
-          (Int64.equal p.Cell.r0.Measure.exit_value
-             p.Cell.sp1.Measure.exit_value)
-      then
+      (* differential checksum oracles: every backend must agree with
+         the head backend within the cell, and every profile must
+         preserve the program's baseline checksum *)
+      let head, others =
+        match p.Cell.zk with h :: t -> (h, t) | [] -> assert false
+      in
+      let diverging =
+        List.find_opt
+          (fun (z : Measure.zk_metrics) ->
+            not (Int64.equal head.Measure.exit_value z.Measure.exit_value))
+          others
+      in
+      match diverging with
+      | Some z ->
         quarantine
           {
-            Error.coord = { coord with Error.vm = "sp1" };
+            Error.coord = { coord with Error.vm = z.Measure.vm };
             kind =
               Error.Miscompile
                 {
-                  expected = p.Cell.r0.Measure.exit_value;
-                  got = p.Cell.sp1.Measure.exit_value;
-                  oracle = "risc0-vs-sp1";
+                  expected = head.Measure.exit_value;
+                  got = z.Measure.exit_value;
+                  oracle = head.Measure.vm ^ "-vs-" ^ z.Measure.vm;
                 };
           }
-      else
+      | None -> (
         match baseline with
         | Some (base : Cell.point)
           when (not (String.equal pname "baseline"))
                && not
-                    (Int64.equal base.Cell.r0.Measure.exit_value
-                       p.Cell.r0.Measure.exit_value) ->
+                    (Int64.equal
+                       (List.hd base.Cell.zk).Measure.exit_value
+                       head.Measure.exit_value) ->
           quarantine
             {
               Error.coord = coord;
               kind =
                 Error.Miscompile
                   {
-                    expected = base.Cell.r0.Measure.exit_value;
-                    got = p.Cell.r0.Measure.exit_value;
+                    expected = (List.hd base.Cell.zk).Measure.exit_value;
+                    got = head.Measure.exit_value;
                     oracle = "baseline-differential";
                   };
             }
@@ -321,7 +377,7 @@ let run (cfg : config) : outcome =
           Mutex.lock mu;
           Hashtbl.replace points (wname, pname) p;
           Mutex.unlock mu;
-          Option.iter (fun wr -> Checkpoint.async_append wr p) writer));
+          Option.iter (fun wr -> Checkpoint.async_append wr p) writer)));
     Mutex.lock mu;
     incr executed;
     let report =

@@ -13,15 +13,21 @@
 open Zkopt_riscv
 
 type t = {
-  prog : Asm.program;
+  site_of_pc : int32 -> (string * string) option;
+      (* the backend's provenance map: pc -> (function, IR block) *)
   profile : Profile.t;
   mutable stack : string list;  (* call frames, innermost first *)
 }
 
-let create prog profile = { prog; profile; stack = [] }
+let create ~site_of_pc profile = { site_of_pc; profile; stack = [] }
+
+(** Collector over an assembled RV32 program (the pre-backend entry
+    point, kept for direct callers). *)
+let of_program prog profile =
+  create ~site_of_pc:(fun pc -> Asm.site_of_pc prog pc) profile
 
 let site_at c pc =
-  match Asm.site_of_pc c.prog pc with
+  match c.site_of_pc pc with
   | Some (f, b) -> Site.make f b
   | None -> Site.unknown
 
@@ -46,10 +52,12 @@ let charge_instr c ~pc (ins : Isa.t) ~cost =
     match c.stack with _ :: tl -> c.stack <- tl | [] -> ())
   | _ -> ()
 
-(** The zkVM-side sink.  [cfg] is needed to turn segment close events
-    into prover padding residue (pow2 padding above the min_po2 floor),
-    mirroring lib/zkvm/prover.ml. *)
-let zk_attr c (cfg : Zkopt_zkvm.Config.t) : Zkopt_zkvm.Executor.attr =
+(** The zkVM-side sink.  [segment_pad] turns a segment close event (its
+    trace-row/cycle count) into the backend's prover padding residue,
+    mirroring that backend's prover — for the RV32 single-table model,
+    pow2 padding above the min_po2 floor
+    ({!Zkopt_backend.Backend.t.segment_pad}). *)
+let zk_attr c ~(segment_pad : int -> int) : Zkopt_zkvm.Executor.attr =
   let open Zkopt_zkvm in
   {
     Executor.attr_instr = (fun ~pc ins ~cost -> charge_instr c ~pc ins ~cost);
@@ -71,12 +79,8 @@ let zk_attr c (cfg : Zkopt_zkvm.Config.t) : Zkopt_zkvm.Executor.attr =
         k.Profile.paging_out <- k.Profile.paging_out + cost);
     attr_segment =
       (fun ~pc ~user ~paging ->
-        let actual = user + paging in
-        let padded =
-          Prover.next_pow2 (max (1 lsl cfg.Config.min_po2) actual)
-        in
         let k = Profile.counters c.profile (site_at c pc) in
-        k.Profile.segment <- k.Profile.segment + (padded - actual));
+        k.Profile.segment <- k.Profile.segment + segment_pad (user + paging));
   }
 
 (** The CPU-model sink (float cycles, no paging/segment dimensions). *)

@@ -8,11 +8,13 @@
     a profiler attached. *)
 
 module Measure = Zkopt_core.Measure
+module Backend = Zkopt_backend.Backend
 
 let collector c profile =
-  Collect.create
-    c.Measure.codegen.Zkopt_riscv.Codegen.program
-    profile
+  Collect.of_program c.Measure.codegen.Zkopt_riscv.Codegen.program profile
+
+let rv32_segment_pad (cfg : Zkopt_zkvm.Config.t) n =
+  Zkopt_zkvm.Prover.next_pow2 (max (1 lsl cfg.Zkopt_zkvm.Config.min_po2) n) - n
 
 (** Profile one zkVM run.  [label] names the profile (e.g. the profile /
     pass under test); the vm name is taken from [cfg]. *)
@@ -20,7 +22,7 @@ let profile_zkvm ?fuel ~label (cfg : Zkopt_zkvm.Config.t)
     (c : Measure.compiled) : Zkopt_zkvm.Vm.metrics * Profile.t =
   let p = Profile.create ~vm:cfg.Zkopt_zkvm.Config.name ~label in
   let col = collector c p in
-  let attr = Collect.zk_attr col cfg in
+  let attr = Collect.zk_attr col ~segment_pad:(rv32_segment_pad cfg) in
   let r = Measure.run_zkvm_raw ?fuel ~attr cfg c in
   (r, p)
 
@@ -39,4 +41,23 @@ let profile_all ?fuel ~label (cfg : Zkopt_zkvm.Config.t)
   let r, p = profile_zkvm ?fuel ~label cfg c in
   let col = collector c p in
   ignore (Measure.run_cpu ?fuel ~attr:(Collect.cpu_attr col) c);
+  (r, p)
+
+(** Profile one run of an arbitrary registered backend: the collector
+    resolves provenance through the backend's own [site_of_pc] and
+    mirrors its prover via [segment_pad], so the same four-dimensional
+    profile (exec/paging/padding/cpu) works for zk-native ISAs.  When
+    the backend can drive the CPU model, its dimension is folded into
+    the same profile. *)
+let profile_backend ?fuel ~label (b : Backend.t) (c : Backend.compiled) :
+    Backend.measurement * Profile.t =
+  let p = Profile.create ~vm:b.Backend.name ~label in
+  let col = Collect.create ~site_of_pc:c.Backend.site_of_pc p in
+  let attr = Collect.zk_attr col ~segment_pad:b.Backend.segment_pad in
+  let r = c.Backend.measure ~vm:b.Backend.name ?fuel ~attr () in
+  (match c.Backend.measure_cpu with
+  | Some run ->
+    let col = Collect.create ~site_of_pc:c.Backend.site_of_pc p in
+    ignore (run ?fuel ~attr:(Collect.cpu_attr col) ())
+  | None -> ());
   (r, p)

@@ -1,0 +1,74 @@
+(** The Valida-style backend as a {!Zkopt_backend.Backend.t}.
+
+    Registers itself under ["valida"] when this library is linked.
+    Linkage is forced by callers invoking {!ensure} (dune drops
+    libraries nothing references); the harness itself stays free of any
+    valida dependency — it only sees {!Zkopt_backend.Backend.t} values. *)
+
+open Zkopt_ir
+module Backend = Zkopt_backend.Backend
+module Registry = Zkopt_backend.Registry
+module Measure = Zkopt_core.Measure
+
+let schema = "valida-cg1"
+let cfg = Vconfig.valida
+
+let zk_of_run (r : Vexec.result) : Measure.zk_metrics =
+  {
+    Measure.vm = cfg.Vconfig.name;
+    cycles = r.Vexec.total_rows;
+    exec_time_s = Vexec.exec_time_s cfg r;
+    prove_time_s = (Vprover.prove cfg r).Vprover.time_s;
+    segments = List.length r.Vexec.segments;
+    (* no paging dimension exists on this ISA *)
+    paging_cycles = 0;
+    page_ins = 0;
+    page_outs = 0;
+    loads = r.Vexec.mem_read_rows;
+    stores = r.Vexec.mem_write_rows;
+    exit_value = r.Vexec.exit_value;
+  }
+
+let of_program (p : Visa.program) : Backend.compiled =
+  let measure ~vm ?fault ?fuel ?attr () =
+    if not (String.equal vm cfg.Vconfig.name) then
+      invalid_arg
+        (Printf.sprintf "valida artifact cannot price backend %S" vm);
+    let r = Vexec.run ?fault ?fuel ?attr cfg p in
+    {
+      Backend.zk = zk_of_run r;
+      accounting = Vexec.check_accounting r;
+      faulted = r.Vexec.faulted;
+    }
+  in
+  {
+    Backend.static_instrs = Array.length p.Visa.code;
+    site_of_pc = Visa.site_of_pc p;
+    (* no register file -> no allocator -> spills cannot exist *)
+    spills = [];
+    measure;
+    measure_cpu = None;
+    encode = (fun () -> Some (Marshal.to_string p []));
+  }
+
+let compile (m : Modul.t) : Backend.compiled = of_program (Vlower.lower m)
+
+let decode (_m : Modul.t) (s : string) : Backend.compiled option =
+  try Some (of_program (Marshal.from_string s 0)) with _ -> None
+
+let backend : Backend.t =
+  {
+    Backend.name = cfg.Vconfig.name;
+    doc = "zk-native frame-cell ISA, multi-chip prover (Valida-style)";
+    zk_native = true;
+    schema;
+    segment_pad = Vprover.table_pad cfg;
+    compile;
+    decode;
+  }
+
+let () = Registry.register backend
+
+(** Referencing this forces the library (and so the registration above)
+    to be linked. *)
+let ensure () = ()

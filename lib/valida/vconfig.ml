@@ -1,0 +1,49 @@
+(** Valida-style multi-chip cost configuration.
+
+    Unlike the RV32 configs there is no paging dimension at all: the
+    memory argument is an offline permutation/log-up check over the
+    memory chip's trace rows, so "memory cost" is simply rows in a
+    table, priced like any other rows.  Segmentation ("continuations")
+    closes a segment when any chip's table reaches [table_limit] rows;
+    each table is padded and committed independently (see {!Vprover}).
+
+    The constants are calibrated to the same order of magnitude as the
+    RV32 configs so cross-ISA comparisons in [bench/exp_isa.ml] are
+    about *shape* (which mechanisms exist) rather than absolute scale. *)
+
+type t = {
+  name : string;
+  table_limit : int;  (** max rows in any one chip's table per segment *)
+  min_po2 : int;  (** per-table power-of-two padding floor *)
+  prove_ns_per_row : float;  (** FFT/LDE + commitment, per padded row *)
+  prove_witgen_ns_per_row : float;  (** witness generation, per real row *)
+  prove_segment_overhead_ns : float;
+  exec_ns_per_row : float;
+  exec_overhead_ns : float;
+  precompile_costs : (string * int) list;  (** ALU-chip rows per call *)
+}
+
+let valida =
+  {
+    name = "valida";
+    table_limit = 1 lsl 21;
+    min_po2 = 12;
+    prove_ns_per_row = 700.0;
+    prove_witgen_ns_per_row = 2_500.0;
+    prove_segment_overhead_ns = 0.5e9;
+    exec_ns_per_row = 20.0;
+    exec_overhead_ns = 0.04e9;
+    precompile_costs =
+      [ ("sha256_compress", 64); ("keccakf", 200); ("ecdsa_verify", 3800);
+        ("ed25519_verify", 3400); ("bigint_mulmod", 200) ];
+  }
+
+(** Rows a precompile call adds to the ALU chip.  Unknown names raise,
+    matching {!Zkopt_zkvm.Config.precompile_cost}'s fail-loudly rule. *)
+let precompile_cost t name =
+  match List.assoc_opt name t.precompile_costs with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unpriced precompile %S on %s (priced: %s)" name t.name
+         (String.concat ", " (List.map fst t.precompile_costs)))

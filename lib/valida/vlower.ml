@@ -1,0 +1,213 @@
+(** IR -> Valida-style lowering.
+
+    The lowering is a direct 1:1 translation: every IR virtual register
+    becomes a frame cell (cell [2 + r]), so there is no allocation, no
+    liveness, no spilling — a function's frame is simply as wide as its
+    register count.  This is where the paper's spill mechanism vanishes
+    *by construction*: optimizations that raise register pressure (loop
+    unrolling most of all) widen frames, which is free, instead of
+    inserting spill loads/stores, which RV32 backends pay cycles for.
+
+    All arithmetic semantics are delegated to {!Zkopt_ir.Eval} at
+    execution time, the same evaluator the IR interpreter and the
+    constant folder use — cross-backend exit-value conformance is by
+    construction, not by calibration. *)
+
+open Zkopt_ir
+
+exception Lower_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Lower_error s)) fmt
+
+let cell r = 2 + r
+
+(* Pre-assign a frame slot offset to each Alloca dst (one slot per
+   static Alloca, matching the interpreter and the RV32 codegen). *)
+let alloca_layout (f : Func.t) =
+  let slots = Hashtbl.create 4 in
+  let total = ref 0 in
+  Func.iter_instrs f (fun _ i ->
+      match i with
+      | Instr.Alloca { dst; size } ->
+        if not (Hashtbl.mem slots dst) then begin
+          Hashtbl.replace slots dst !total;
+          total := !total + Layout.align_up size 8
+        end
+      | _ -> ());
+  (slots, Layout.align_up !total 8)
+
+type proto = {
+  frame_bytes : int;
+  ncells : int;
+  p_params : (int * Ty.t) list;
+  p_ret : Ty.t option;
+  slots : (Value.reg, int) Hashtbl.t;
+  alloca_total : int;
+}
+
+let proto_of (f : Func.t) : proto =
+  let slots, alloca_total = alloca_layout f in
+  let ncells = 2 + f.Func.next_reg in
+  {
+    frame_bytes = (8 * ncells) + alloca_total;
+    ncells;
+    p_params = List.map (fun (r, ty) -> (cell r, ty)) f.Func.params;
+    p_ret = f.Func.ret;
+    slots;
+    alloca_total;
+  }
+
+type fixup =
+  | FJump of string * string  (* function, label *)
+  | FCjump of string * string * string
+  | FCall of string
+
+let lower (m : Modul.t) : Visa.program =
+  let globals, data_end = Layout.place_globals m in
+  let protos = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) -> Hashtbl.replace protos f.Func.name (proto_of f))
+    m.Modul.funcs;
+  let proto name =
+    match Hashtbl.find_opt protos name with
+    | Some p -> p
+    | None -> error "call to unknown function %s" name
+  in
+  let code = ref [] in
+  let srcmap = ref [] in
+  let n = ref 0 in
+  let labels = Hashtbl.create 64 in
+  let fixups = ref [] in
+  let entries = Hashtbl.create 16 in
+  let stats = ref [] in
+  let sv = function
+    | Value.Reg r -> Visa.Cell (cell r)
+    | Value.Imm i -> Visa.Const i
+    | Value.Glob g -> (
+      match Hashtbl.find_opt globals g with
+      | Some a -> Visa.Const (Eval.norm32 (Int64.of_int32 a))
+      | None -> error "unknown global %s" g)
+  in
+  let lower_func (f : Func.t) =
+    let fname = f.Func.name in
+    let p = proto fname in
+    Hashtbl.replace entries fname !n;
+    let count0 = !n in
+    let emit ~block ins =
+      code := ins :: !code;
+      srcmap := (fname, block) :: !srcmap;
+      incr n
+    in
+    let fix kind =
+      (* the fixup patches the instruction just emitted *)
+      fixups := (!n - 1, kind) :: !fixups
+    in
+    Func.iter_blocks f (fun (b : Block.t) ->
+        Hashtbl.replace labels (fname ^ "$" ^ b.Block.label) !n;
+        let emit = emit ~block:b.Block.label in
+        List.iter
+          (fun (i : Instr.t) ->
+            match i with
+            | Instr.Bin { dst; ty; op; a; b } ->
+              emit (Visa.Bin (ty, op, cell dst, sv a, sv b))
+            | Cmp { dst; ty; op; a; b } ->
+              emit (Visa.Cmp (ty, op, cell dst, sv a, sv b))
+            | Select { dst; ty; cond; if_true; if_false } ->
+              emit (Visa.Select (ty, cell dst, sv cond, sv if_true, sv if_false))
+            | Mov { dst; ty; src } -> emit (Visa.Set (ty, cell dst, sv src))
+            | Cast { dst; op; src } -> emit (Visa.Cast (op, cell dst, sv src))
+            | Load { dst; ty; addr } -> emit (Visa.Load (ty, cell dst, sv addr))
+            | Store { ty; addr; src } -> emit (Visa.Store (ty, sv addr, sv src))
+            | Addr { dst; base; index; scale; offset } ->
+              emit (Visa.Lea (cell dst, sv base, sv index, scale, offset))
+            | Alloca { dst; _ } ->
+              let off =
+                match Hashtbl.find_opt p.slots dst with
+                | Some o -> o
+                | None -> error "%s: alloca slot for %%r%d missing" fname dst
+              in
+              (* address = fp - frame_bytes + off = fp - (frame_bytes - off) *)
+              emit (Visa.Frame (cell dst, p.frame_bytes - off))
+            | Call { dst; callee; args } ->
+              let cp = proto callee in
+              emit
+                (Visa.Call
+                   {
+                     Visa.target = -1;
+                     callee;
+                     caller_frame = p.frame_bytes;
+                     callee_frame = cp.frame_bytes;
+                     params = cp.p_params;
+                     args = List.map sv args;
+                     ret = Option.map cell dst;
+                     ret_ty = Option.value ~default:Ty.I32 cp.p_ret;
+                   });
+              fix (FCall callee)
+            | Precompile { dst; name; args } ->
+              emit
+                (Visa.Prec
+                   { name; args = List.map sv args; ret = Option.map cell dst }))
+          b.Block.instrs;
+        match b.Block.term with
+        | Instr.Ret None -> emit (Visa.Ret None)
+        | Ret (Some v) ->
+          emit (Visa.Ret (Some (Option.value ~default:Ty.I32 p.p_ret, sv v)))
+        | Br l ->
+          emit (Visa.Jump (-1));
+          fix (FJump (fname, l))
+        | Cbr { cond; if_true; if_false } ->
+          emit (Visa.Cjump (sv cond, -1, -1));
+          fix (FCjump (fname, if_true, if_false)));
+    stats := (fname, !n - count0) :: !stats
+  in
+  List.iter lower_func m.Modul.funcs;
+  let code = Array.of_list (List.rev !code) in
+  let srcmap = Array.of_list (List.rev !srcmap) in
+  let label_idx fname l =
+    match Hashtbl.find_opt labels (fname ^ "$" ^ l) with
+    | Some i -> i
+    | None -> error "undefined label %s in %s" l fname
+  in
+  List.iter
+    (fun (i, kind) ->
+      match (kind, code.(i)) with
+      | FJump (f, l), Visa.Jump _ -> code.(i) <- Visa.Jump (label_idx f l)
+      | FCjump (f, lt, lf), Visa.Cjump (c, _, _) ->
+        code.(i) <- Visa.Cjump (c, label_idx f lt, label_idx f lf)
+      | FCall callee, Visa.Call c ->
+        code.(i) <- Visa.Call { c with Visa.target = Hashtbl.find entries callee }
+      | _ -> error "fixup mismatch at %d" i)
+    !fixups;
+  let funcs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      let p = proto f.Func.name in
+      Hashtbl.replace funcs f.Func.name
+        {
+          Visa.entry = Hashtbl.find entries f.Func.name;
+          frame_bytes = p.frame_bytes;
+          ncells = p.ncells;
+          params = p.p_params;
+          ret_ty = p.p_ret;
+        })
+    m.Modul.funcs;
+  let main =
+    match Hashtbl.find_opt funcs "main" with
+    | Some fi -> fi
+    | None -> error "no main function"
+  in
+  {
+    Visa.code;
+    srcmap;
+    funcs;
+    globals;
+    global_inits =
+      List.map
+        (fun (g : Modul.global) ->
+          (Hashtbl.find globals g.Modul.gname, g.Modul.init))
+        m.Modul.globals;
+    data_end;
+    main_entry = main.Visa.entry;
+    main_frame = main.Visa.frame_bytes;
+    stats = List.rev !stats;
+  }

@@ -48,10 +48,18 @@ let instr_cost t (i : Isa.t) =
   | Load _ | Store _ -> t.mem_cost
   | _ -> t.default_cost
 
+(** Cycle price of a precompile call.  Unknown names raise: every
+    precompile a config can execute must be priced explicitly, so a typo
+    in a cost table (or a new precompile added to {!Zkopt_ir.Extern}
+    without a price) fails loudly instead of being silently billed a
+    magic constant. *)
 let precompile_cost t name =
   match List.assoc_opt name t.precompile_costs with
   | Some c -> c
-  | None -> 1_000
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unpriced precompile %S on %s (priced: %s)" name t.name
+         (String.concat ", " (List.map fst t.precompile_costs)))
 
 let risc0 =
   {

@@ -35,3 +35,40 @@ let measure ?fault ?fuel ?attr (cfg : Config.t) (cg : Codegen.t)
 let compile_and_measure ?fault ?fuel (cfg : Config.t) (m : Modul.t) : metrics =
   let cg = Codegen.compile m in
   measure ?fault ?fuel cfg cg m
+
+(** Accounting conservation oracles over a raw executor result.  In a
+    healthy executor both identities hold exactly:
+
+    - paging cycles = page-ins * page_in_cost + page-outs * page_out_cost
+    - total cycles  = sum over segments of (user + paging) cycles
+
+    A violation means the executor produced a trace whose cost totals do
+    not reconcile with its own event journal — the accounting-bug shape
+    of zkVM soundness failures (e.g. {!Executor.fault}'s
+    [Dropped_page_out] and [Truncated_final_segment]). *)
+let check_accounting (cfg : Config.t) (r : metrics) : (unit, string) result =
+  let e = r.exec in
+  let expected_paging =
+    (e.Executor.page_ins * cfg.Config.page_in_cost)
+    + (e.Executor.page_outs * cfg.Config.page_out_cost)
+  in
+  if e.Executor.paging_cycles <> expected_paging then
+    Error
+      (Printf.sprintf
+         "paging cycles %d do not reconcile with events (%d ins * %d + %d \
+          outs * %d = %d)"
+         e.Executor.paging_cycles e.Executor.page_ins cfg.Config.page_in_cost
+         e.Executor.page_outs cfg.Config.page_out_cost expected_paging)
+  else
+    let seg_total =
+      List.fold_left
+        (fun acc (s : Executor.segment) ->
+          acc + s.Executor.user_cycles + s.Executor.paging_cycles)
+        0 e.Executor.segments
+    in
+    if seg_total <> e.Executor.total_cycles then
+      Error
+        (Printf.sprintf
+           "segment trace sums to %d cycles but the executor reported %d"
+           seg_total e.Executor.total_cycles)
+    else Ok ()

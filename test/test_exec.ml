@@ -105,9 +105,13 @@ let prop_attr_digest_differs =
 
 (* ---- cache behavior -------------------------------------------------- *)
 
-let compile_artifact m : Cache.artifact =
+(* The cache is polymorphic; the tests use a closure-free artifact of
+   pure data so the default marshalling codec covers the disk store. *)
+type artifact = { codegen : Zkopt_riscv.Codegen.t; static_instrs : int }
+
+let compile_artifact m : artifact =
   let c = Measure.compile_ir m in
-  { Cache.codegen = c.Measure.codegen; static_instrs = c.Measure.static_instrs }
+  { codegen = c.Measure.codegen; static_instrs = c.Measure.static_instrs }
 
 let prop_cache_hit_matches_fresh_compile =
   QCheck.Test.make ~name:"cache hit executes identically to a fresh compile"
@@ -127,12 +131,12 @@ let prop_cache_hit_matches_fresh_compile =
             QCheck.Test.fail_report "second lookup must not compile")
       in
       let fresh = Measure.compile_ir m in
-      let run (art : Cache.artifact) =
+      let run (art : artifact) =
         let c =
           {
             Measure.modul = m;
-            codegen = art.Cache.codegen;
-            static_instrs = art.Cache.static_instrs;
+            codegen = art.codegen;
+            static_instrs = art.static_instrs;
           }
         in
         Measure.run_zkvm Zkopt_zkvm.Config.risc0 c
@@ -142,7 +146,7 @@ let prop_cache_hit_matches_fresh_compile =
       and f =
         run
           {
-            Cache.codegen = fresh.Measure.codegen;
+            codegen = fresh.Measure.codegen;
             static_instrs = fresh.Measure.static_instrs;
           }
       in
@@ -199,23 +203,27 @@ let test_disk_cache_roundtrip () =
   Sys.remove dir;
   let m = Measure.prepare_ir ~build:tiny_module Profile.Baseline in
   let digest = Fingerprint.of_modul m in
+  let codec = Cache.marshal_codec () in
   (* run 1 compiles and persists *)
   let c1 = Cache.create ~dir () in
-  let a1 = Cache.get_or_compile c1 ~digest ~compile:(fun () -> compile_artifact m) in
+  let a1 =
+    Cache.get_or_compile ~codec c1 ~digest ~compile:(fun () ->
+        compile_artifact m)
+  in
   Alcotest.(check int) "first run compiles" 1 (Cache.stats c1).Cache.misses;
   (* run 2 (fresh process state) must load from disk, not compile *)
   let c2 = Cache.create ~dir () in
   let a2 =
-    Cache.get_or_compile c2 ~digest ~compile:(fun () ->
+    Cache.get_or_compile ~codec c2 ~digest ~compile:(fun () ->
         Alcotest.fail "second run must hit the disk store")
   in
   Alcotest.(check int) "disk hit" 1 (Cache.stats c2).Cache.disk_hits;
-  let run (art : Cache.artifact) =
+  let run (art : artifact) =
     Measure.run_zkvm Zkopt_zkvm.Config.sp1
       {
         Measure.modul = m;
-        codegen = art.Cache.codegen;
-        static_instrs = art.Cache.static_instrs;
+        codegen = art.codegen;
+        static_instrs = art.static_instrs;
       }
   in
   Alcotest.(check int) "deserialized artifact executes identically"
@@ -234,7 +242,10 @@ let test_disk_cache_roundtrip () =
     output_string oc "garbage, not a marshalled artifact";
     close_out oc);
   let c3 = Cache.create ~dir () in
-  let a3 = Cache.get_or_compile c3 ~digest ~compile:(fun () -> compile_artifact m) in
+  let a3 =
+    Cache.get_or_compile ~codec c3 ~digest ~compile:(fun () ->
+        compile_artifact m)
+  in
   Alcotest.(check int) "corrupt file treated as a miss" 1
     (Cache.stats c3).Cache.misses;
   Alcotest.(check int) "recompiled artifact still equal" (run a1).Measure.cycles

@@ -66,8 +66,10 @@ let test_autotune_deterministic () =
   let w = Zkopt_workloads.Workload.find "factorial" in
   let build () = w.Zkopt_workloads.Workload.build Zkopt_workloads.Workload.Quick in
   let run () =
-    (Zkopt_autotune.Autotune.run ~seed:7 ~iterations:10 ~build
-       Zkopt_zkvm.Config.sp1)
+    (Zkopt_autotune.Autotune.run ~seed:7 ~iterations:10
+       ~cycles:
+         (Zkopt_autotune.Autotune.zkvm_cycles ~build Zkopt_zkvm.Config.sp1)
+       ())
       .Zkopt_autotune.Autotune.best
   in
   let a = run () and b = run () in

@@ -12,4 +12,5 @@ let () =
       ("harness", Test_harness.tests);
       ("exec", Test_exec.tests);
       ("prof", Test_prof.tests);
+      ("backend", Test_backend.tests);
     ]

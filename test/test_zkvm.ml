@@ -115,6 +115,83 @@ let test_cpu_div_expensive () =
   in
   Alcotest.(check int) "uniform cost on sp1" (zk Instr.Udiv) (zk Instr.Add)
 
+(* ---- prover padding properties (qcheck) ---------------------------- *)
+
+module Exec = Zkopt_zkvm.Executor
+module Prover = Zkopt_zkvm.Prover
+module Config = Zkopt_zkvm.Config
+
+(* a synthetic executor result with the given per-segment user cycles:
+   the prover model only reads the segment list *)
+let synth_exec segs : Exec.result =
+  let total = List.fold_left ( + ) 0 segs in
+  {
+    Exec.exit_value = 0l;
+    total_cycles = total;
+    user_cycles = total;
+    paging_cycles = 0;
+    page_ins = 0;
+    page_outs = 0;
+    segments =
+      List.map (fun c -> { Exec.user_cycles = c; paging_cycles = 0 }) segs;
+    retired = total;
+    loads = 0;
+    stores = 0;
+    branches = 0;
+    precompile_calls = 0;
+    faulted = false;
+  }
+
+let prop_prover_min_po2_floor =
+  QCheck.Test.make ~name:"every segment pads to at least 2^min_po2" ~count:100
+    QCheck.(pair (int_range 8 16) (list_of_size Gen.(1 -- 8) (int_range 1 300_000)))
+    (fun (po2, segs) ->
+      let cfg = { Config.risc0 with Config.min_po2 = po2 } in
+      let p = Prover.prove cfg (synth_exec segs) in
+      p.Prover.padded_cycles_total >= List.length segs * (1 lsl po2)
+      && p.Prover.segments = List.length segs)
+
+let prop_prover_padding_monotone_minimal =
+  QCheck.Test.make
+    ~name:"pow2 padding is monotone in trace length, minimal, and a pow2"
+    ~count:100
+    QCheck.(pair (int_range 1 500_000) (int_range 0 100_000))
+    (fun (c, d) ->
+      let cfg = { Config.sp1 with Config.min_po2 = 10 } in
+      let pad c =
+        (Prover.prove cfg (synth_exec [ c ])).Prover.padded_cycles_total
+      in
+      let p = pad c in
+      (* longer traces never pad to less *)
+      pad (c + d) >= p
+      (* minimality: never more than one doubling above max(actual, floor) *)
+      && p < 2 * max c (1 lsl 10)
+      (* and the padded size is an exact power of two *)
+      && p land (p - 1) = 0)
+
+let prop_prover_straggler_segment_cost =
+  QCheck.Test.make
+    ~name:"a straggler segment costs a full overhead + floor pad (fig. 13)"
+    ~count:100
+    QCheck.(
+      triple
+        (list_of_size Gen.(1 -- 8) (int_range 1 2_000_000))
+        (int_range 1 1_000) (int_range 0 1))
+    (fun (segs, tail, which) ->
+      (* Fig. 13's regex-match regression: the optimized build spills a
+         few cycles past a shard boundary and the prover pays for a 20th
+         shard instead of 16 — an entire extra overhead plus a table
+         padded all the way up to the 2^min_po2 floor, for [tail] cycles
+         of actual work *)
+      let cfg = if which = 0 then Config.risc0 else Config.sp1 in
+      let base = Prover.prove cfg (synth_exec segs) in
+      let more = Prover.prove cfg (synth_exec (segs @ [ tail ])) in
+      more.Prover.segments = base.Prover.segments + 1
+      && more.Prover.padded_cycles_total
+         >= base.Prover.padded_cycles_total + (1 lsl cfg.Config.min_po2)
+      && more.Prover.time_s -. base.Prover.time_s
+         >= cfg.Config.prove_segment_overhead_ns *. 1e-9)
+
 let test_cache_and_predictor () =
   let cache = Zkopt_cpu.Cache.create () in
   (* sequential accesses: high hit rate after the first line touch *)
@@ -140,3 +217,9 @@ let tests =
     Alcotest.test_case "cpu: div expensive, zk uniform" `Quick test_cpu_div_expensive;
     Alcotest.test_case "cache + predictor" `Quick test_cache_and_predictor;
   ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [
+        prop_prover_min_po2_floor;
+        prop_prover_padding_monotone_minimal;
+        prop_prover_straggler_segment_cost;
+      ]
