@@ -13,6 +13,8 @@
     zkbench sweepall --quick --checkpoint sweep.ckpt
                                          # fault-tolerant full-matrix sweep;
                                          # re-run the same command to resume
+    zkbench fuzz --seeds 1..500 --jobs 4 --minimize --corpus corpus
+                                         # differential fuzzing campaign
     zkbench autotune npb-mg --iters 80   # GA pass-sequence search
     zkbench asm fibonacci -O3            # dump the RV32 assembly
     v} *)
@@ -441,6 +443,174 @@ let sweepall_cmd =
           $ limit_arg $ jobs_arg $ cache_dir_arg $ no_disk_cache_arg
           $ backends_arg)
 
+let fuzz_cmd =
+  let module Case = Zkopt_fuzz.Case in
+  let module Campaign = Zkopt_fuzz.Campaign in
+  let seeds_arg =
+    Arg.(value & opt string "1..100"
+         & info [ "seeds" ] ~docv:"A..B"
+             ~doc:"Random-program seed range; \"N\" means 1..N")
+  in
+  let workloads_arg =
+    Arg.(value & opt (some string) None
+         & info [ "workloads" ] ~docv:"NAMES"
+             ~doc:"Also fuzz these suite programs (comma-separated, quick \
+                   input sizes)")
+  in
+  let backends_arg =
+    Arg.(value & opt (some string) None
+         & info [ "backends" ] ~docv:"NAMES"
+             ~doc:"Comma-separated differential columns (default: every \
+                   registered backend; \"sp1-dense\" adds the dense-shard \
+                   \xc2\xa74.2 reproduction config)")
+  in
+  let pipelines_arg =
+    Arg.(value & opt string "baseline,O3,zk-o3"
+         & info [ "pipelines" ] ~docv:"SPECS"
+             ~doc:"Comma-separated pipeline specs: baseline, O0..Oz, zk-o3, \
+                   a pass name, or a;b;c / zk:a;b;c sequences")
+  in
+  let random_arg =
+    Arg.(value & opt int 0
+         & info [ "random-seqs" ] ~docv:"N"
+             ~doc:"Additional random pass sequences per source \
+                   (deterministic in the seed)")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains running cases in parallel (default: the \
+                   recommended domain count)")
+  in
+  let ckpt_arg =
+    Arg.(value & opt string "fuzz.ckpt"
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Append-only campaign checkpoint; rerunning with the same \
+                   file resumes where the previous run stopped (default: \
+                   fuzz.ckpt)")
+  in
+  let no_ckpt_arg =
+    Arg.(value & flag
+         & info [ "no-checkpoint" ] ~doc:"Run without a checkpoint file")
+  in
+  let fresh_arg =
+    Arg.(value & flag
+         & info [ "fresh" ]
+             ~doc:"Ignore an existing checkpoint (default is to resume)")
+  in
+  let budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "failure-budget" ] ~docv:"N"
+             ~doc:"Stop scheduling new cases after N divergences")
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"N"
+             ~doc:"Cap the campaign at N cases (checkpoint keeps the rest \
+                   resumable)")
+  in
+  let minimize_arg =
+    Arg.(value & flag
+         & info [ "minimize" ]
+             ~doc:"Shrink every finding with the delta-debugging minimizer")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Persist (minimized) findings as replayable corpus \
+                   entries under DIR")
+  in
+  let verbose_arg =
+    Arg.(value & flag
+         & info [ "verbose" ] ~doc:"Log every case, not just findings")
+  in
+  let run seeds workloads backends pipelines random_seqs jobs ckpt no_ckpt
+      fresh budget limit minimize corpus verbose =
+    let split s = List.filter (fun x -> x <> "") (String.split_on_char ',' s) in
+    let lo, hi =
+      match Zkopt_devutil.Seedfmt.range_of_string seeds with
+      | Some r -> r
+      | None -> failwith (Printf.sprintf "bad --seeds %S (expected N or A..B)" seeds)
+    in
+    let backends =
+      match backends with
+      | None -> Registry.all ()
+      | Some s ->
+        List.map
+          (fun n ->
+            try Case.resolve_backend n
+            with Invalid_argument msg -> failwith msg)
+          (split s)
+    in
+    let pipelines =
+      List.map
+        (fun spec ->
+          match Case.pipeline_of_spec spec with
+          | Ok p -> p
+          | Error e -> failwith e)
+        (split pipelines)
+    in
+    let sources =
+      List.init (hi - lo + 1) (fun i -> Case.seed (lo + i))
+      @ (match workloads with
+        | None -> []
+        | Some s ->
+          List.map
+            (fun w ->
+              ignore (find_workload w);
+              Case.Workload w)
+            (split s))
+    in
+    let jobs =
+      match jobs with
+      | Some n -> max 1 n
+      | None -> Zkopt_exec.Pool.recommended_jobs ()
+    in
+    let cfg =
+      {
+        (Campaign.default ~backends) with
+        Campaign.sources;
+        pipelines;
+        random_seqs;
+        jobs;
+        checkpoint = (if no_ckpt then None else Some ckpt);
+        resume = not fresh;
+        failure_budget = budget;
+        minimize;
+        corpus;
+        limit;
+        log =
+          (fun line ->
+            if verbose || not (String.length line >= 2 && line.[0] = 'o') then
+              Printf.printf "%s\n%!" line);
+      }
+    in
+    let s = Campaign.run cfg in
+    Printf.printf "%s (%d jobs)\n" (Campaign.describe s) jobs;
+    List.iter
+      (fun (f : Campaign.finding) ->
+        Printf.printf "  %s / %s -> %s: %s%s\n"
+          (Case.source_name f.Campaign.case.Case.source)
+          f.Campaign.case.Case.pipeline.Case.spec
+          (Case.divergence_key f.Campaign.divergence)
+          (Case.divergence_detail f.Campaign.divergence)
+          (match f.Campaign.corpus_path with
+          | Some p -> "  [" ^ p ^ "]"
+          | None -> ""))
+      s.Campaign.findings;
+    if s.Campaign.findings <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing campaign: random programs and suite \
+             workloads run across backends and pass pipelines; divergences \
+             are classified, minimized, and persisted to a replayable \
+             corpus")
+    Term.(const run $ seeds_arg $ workloads_arg $ backends_arg
+          $ pipelines_arg $ random_arg $ jobs_arg $ ckpt_arg $ no_ckpt_arg
+          $ fresh_arg $ budget_arg $ limit_arg $ minimize_arg $ corpus_arg
+          $ verbose_arg)
+
 let autotune_cmd =
   let iters_arg =
     Arg.(value & opt int 80 & info [ "iters" ] ~doc:"GA evaluations")
@@ -516,4 +686,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; passes_cmd; backends_cmd; run_cmd; profile_cmd;
-            sweep_cmd; sweepall_cmd; autotune_cmd; asm_cmd ]))
+            sweep_cmd; sweepall_cmd; fuzz_cmd; autotune_cmd; asm_cmd ]))

@@ -1,0 +1,43 @@
+(** Corpus regression gate: replay every persisted bug entry across its
+    recorded backend set and require the divergence to reproduce under
+    the same classification key.  A bug that silently stops reproducing
+    (or reproduces differently) fails the gate — the corpus is the
+    regression suite for every miscompile the fuzzer ever caught.
+    Usage: [corpuscheck.exe [DIR]] (default [corpus]). *)
+
+module Seedfmt = Zkopt_devutil.Seedfmt
+module Case = Zkopt_fuzz.Case
+module Corpus = Zkopt_fuzz.Corpus
+
+let tool = "corpuscheck"
+
+(* replaying valida-backed entries needs the self-registering backend *)
+let () = Zkopt_valida.Vbackend.ensure ()
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "corpus" in
+  let entries = Corpus.load_dir dir in
+  if entries = [] then
+    Printf.printf "corpuscheck: no corpus entries under %s\n%!" dir;
+  List.iter
+    (fun (path, r) ->
+      let name = Filename.basename path in
+      match r with
+      | Error msg -> Seedfmt.fail ~tool "%s: unreadable: %s" name msg
+      | Ok e -> (
+        let seed =
+          match e.Corpus.source with
+          | Case.Seed { seed; _ } -> Some seed
+          | Case.Workload _ -> None
+        in
+        match Corpus.replay e with
+        | Corpus.Reproduced ->
+          Printf.printf "ok %s  %s / %s -> %s\n%!" name
+            (Case.source_name e.Corpus.source)
+            e.Corpus.pipeline.Case.spec e.Corpus.key
+        | Corpus.Broken msg -> Seedfmt.fail ~tool ?seed "%s: broken: %s" name msg
+        | r ->
+          Seedfmt.fail ~tool ?seed "%s: %s (recorded %s)" name
+            (Corpus.replay_name r) e.Corpus.key))
+    entries;
+  Seedfmt.finish tool

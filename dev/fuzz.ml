@@ -1,21 +1,34 @@
-open Zkopt_ir
+(** Seeded random-program differential fuzzer, rebased onto the
+    campaign engine: every seed runs the full {!Zkopt_fuzz.Case} oracle
+    stack (verify + interp reference, metamorphic baseline pipeline,
+    risc0 backend differential) instead of the old hand-rolled
+    interp-vs-codegen loop.  Usage: [fuzz.exe [N | A..B]]. *)
+
 module Seedfmt = Zkopt_devutil.Seedfmt
+module Case = Zkopt_fuzz.Case
+module Campaign = Zkopt_fuzz.Campaign
 
 let tool = "fuzz"
 
 let () =
-  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1500 in
-  for seed = 1 to n do
-    let m = Randprog.generate ~seed () in
-    Zkopt_runtime.Runtime.link m;
-    (try Verify.check m
-     with Verify.Ill_formed msg -> Seedfmt.fail ~tool ~seed "ILLFORMED %s" msg);
-    try
-      let iv = Interp.checksum m in
-      let ev, _ = Zkopt_riscv.Codegen.run m in
-      let ev = Eval.norm32 (Int64.of_int32 ev) in
-      if not (Int64.equal iv ev) then
-        Seedfmt.fail ~tool ~seed "MISMATCH interp=%Ld emu=%Ld" iv ev
-    with e -> Seedfmt.fail ~tool ~seed "EXN %s" (Printexc.to_string e)
-  done;
+  let lo, hi = Seedfmt.seed_range ~tool ~default:1500 Sys.argv in
+  let cfg =
+    {
+      (Campaign.default ~backends:[ Case.resolve_backend "risc0" ]) with
+      Campaign.sources = List.init (hi - lo + 1) (fun i -> Case.seed (lo + i));
+    }
+  in
+  let s = Campaign.run cfg in
+  List.iter
+    (fun (f : Campaign.finding) ->
+      let seed =
+        match f.Campaign.case.Case.source with
+        | Case.Seed { seed; _ } -> Some seed
+        | Case.Workload _ -> None
+      in
+      Seedfmt.fail ~tool ?seed "%s: %s"
+        (Case.divergence_key f.Campaign.divergence)
+        (Case.divergence_detail f.Campaign.divergence))
+    s.Campaign.findings;
+  Printf.printf "%s\n" (Campaign.describe s);
   Seedfmt.finish tool

@@ -1,81 +1,49 @@
-open Zkopt_ir
+(** Pass-pipeline metamorphic fuzzer, rebased onto the campaign engine:
+    for every seed the oracle stack checks each single pass, every
+    standard level, the zkVM-aware -O3, and three random pass sequences
+    (both cost models) — pass-applied vs unapplied must agree in the
+    interpreter, and the risc0 backend must agree with both.
+    Usage: [passfuzz.exe [N | A..B]]. *)
+
 module Seedfmt = Zkopt_devutil.Seedfmt
+module Case = Zkopt_fuzz.Case
+module Campaign = Zkopt_fuzz.Campaign
 
 let tool = "passfuzz"
 
 let () =
-  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 60 in
+  let lo, hi = Seedfmt.seed_range ~tool ~default:60 Sys.argv in
   let passes = Zkopt_passes.Catalog.all_passes () in
-  Printf.printf "testing %d passes: %s\n%!" (List.length passes) (String.concat " " passes);
-  for seed = 1 to n do
-    let base = Randprog.generate ~seed () in
-    Zkopt_runtime.Runtime.link base;
-    let expected = Interp.checksum base in
-    List.iter (fun pname ->
-      let m = Clone.modul base in
-      (try
-        ignore (Zkopt_passes.Pass.run_one pname m);
-        (try Verify.check m
-         with Verify.Ill_formed msg ->
-           Seedfmt.fail ~tool ~seed "pass %s ILLFORMED: %s" pname msg);
-        let got = Interp.checksum m in
-        if not (Int64.equal got expected) then
-          Seedfmt.fail ~tool ~seed "pass %s WRONG: %Lx vs %Lx" pname got expected;
-        (* codegen differential too *)
-        let ev, _ = Zkopt_riscv.Codegen.run m in
-        let ev = Eval.norm32 (Int64.of_int32 ev) in
-        if not (Int64.equal ev expected) then
-          Seedfmt.fail ~tool ~seed "pass %s CODEGEN WRONG: %Lx vs %Lx" pname ev expected
-      with e ->
-        Seedfmt.fail ~tool ~seed "pass %s EXN: %s" pname (Printexc.to_string e)))
-      passes;
-    (* standard levels and the zkVM-aware pipeline *)
-    List.iter (fun lvl ->
-      let m = Clone.modul base in
-      try
-        Zkopt_passes.Catalog.run_level lvl m;
-        Verify.check m;
-        let got = Interp.checksum m in
-        let ev, _ = Zkopt_riscv.Codegen.run m in
-        let ev = Eval.norm32 (Int64.of_int32 ev) in
-        if not (Int64.equal got expected && Int64.equal ev expected) then
-          Seedfmt.fail ~tool ~seed "level %s WRONG %Lx/%Lx vs %Lx"
-            (Zkopt_passes.Catalog.level_name lvl) got ev expected
-      with e ->
-        Seedfmt.fail ~tool ~seed "level %s EXN %s"
-          (Zkopt_passes.Catalog.level_name lvl) (Printexc.to_string e))
-      Zkopt_passes.Catalog.all_levels;
-    (let m = Clone.modul base in
-     try
-       Zkopt_passes.Catalog.run_zkvm_o3 m;
-       Verify.check m;
-       let got = Interp.checksum m in
-       let ev, _ = Zkopt_riscv.Codegen.run m in
-       let ev = Eval.norm32 (Int64.of_int32 ev) in
-       if not (Int64.equal got expected && Int64.equal ev expected) then
-         Seedfmt.fail ~tool ~seed "zkvm-O3 WRONG %Lx/%Lx vs %Lx" got ev expected
-     with e ->
-       Seedfmt.fail ~tool ~seed "zkvm-O3 EXN %s" (Printexc.to_string e));
-    (* random pass sequences, both cost models *)
-    let rng = Random.State.make [| seed * 7919 |] in
-    for _ = 1 to 3 do
-      let len = 1 + Random.State.int rng 8 in
-      let seq = List.init len (fun _ -> List.nth passes (Random.State.int rng (List.length passes))) in
-      let config = if Random.State.bool rng then Zkopt_passes.Pass.standard_config
-                   else Zkopt_passes.Pass.zkvm_config in
-      let m = Clone.modul base in
-      try
-        ignore (Zkopt_passes.Pass.run_sequence ~config seq m);
-        Verify.check m;
-        let got = Interp.checksum m in
-        let ev, _ = Zkopt_riscv.Codegen.run m in
-        let ev = Eval.norm32 (Int64.of_int32 ev) in
-        if not (Int64.equal got expected) || not (Int64.equal ev expected) then
-          Seedfmt.fail ~tool ~seed "seq [%s] WRONG interp=%Lx emu=%Lx expect=%Lx"
-            (String.concat ";" seq) got ev expected
-      with e ->
-        Seedfmt.fail ~tool ~seed "seq [%s] EXN: %s" (String.concat ";" seq)
-          (Printexc.to_string e)
-    done
-  done;
+  Printf.printf "testing %d passes + levels + zk-o3 + 3 random seqs/seed\n%!"
+    (List.length passes);
+  let pipelines =
+    List.map
+      (fun spec ->
+        match Case.pipeline_of_spec spec with
+        | Ok p -> p
+        | Error e -> failwith e)
+      (passes @ [ "O0"; "O1"; "O2"; "O3"; "Os"; "Oz"; "zk-o3" ])
+  in
+  let cfg =
+    {
+      (Campaign.default ~backends:[ Case.resolve_backend "risc0" ]) with
+      Campaign.sources = List.init (hi - lo + 1) (fun i -> Case.seed (lo + i));
+      pipelines;
+      random_seqs = 3;
+    }
+  in
+  let s = Campaign.run cfg in
+  List.iter
+    (fun (f : Campaign.finding) ->
+      let seed =
+        match f.Campaign.case.Case.source with
+        | Case.Seed { seed; _ } -> Some seed
+        | Case.Workload _ -> None
+      in
+      Seedfmt.fail ~tool ?seed "pipeline %s: %s: %s"
+        f.Campaign.case.Case.pipeline.Case.spec
+        (Case.divergence_key f.Campaign.divergence)
+        (Case.divergence_detail f.Campaign.divergence))
+    s.Campaign.findings;
+  Printf.printf "%s\n" (Campaign.describe s);
   Seedfmt.finish tool

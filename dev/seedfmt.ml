@@ -27,3 +27,37 @@ let count () = !failures
 let finish tool =
   Printf.printf "%s done, %d failure(s)\n%!" tool !failures;
   if !failures > 0 then exit 1
+
+(* ---- seed-range argv parsing ----------------------------------------- *)
+
+(** Parse a seed specification: ["N"] is the range [1..N], ["A..B"] the
+    inclusive range.  [None] on anything malformed or empty. *)
+let range_of_string (s : string) : (int * int) option =
+  let len = String.length s in
+  let rec dots i =
+    if i + 1 >= len then None
+    else if s.[i] = '.' && s.[i + 1] = '.' then Some i
+    else dots (i + 1)
+  in
+  match dots 0 with
+  | Some i -> (
+    let a = String.sub s 0 i in
+    let b = String.sub s (i + 2) (len - i - 2) in
+    match (int_of_string_opt a, int_of_string_opt b) with
+    | Some a, Some b when a <= b -> Some (a, b)
+    | _ -> None)
+  | None -> (
+    match int_of_string_opt s with Some n when n >= 1 -> Some (1, n) | None | Some _ -> None)
+
+(** Shared argv handling for the seed-driven dev fuzzers: no argument
+    means [1..default]; a malformed argument prints usage and exits 2
+    instead of dying in [int_of_string]. *)
+let seed_range ~tool ~default (argv : string array) : int * int =
+  if Array.length argv <= 1 then (1, default)
+  else
+    match range_of_string argv.(1) with
+    | Some r -> r
+    | None ->
+      Printf.eprintf "usage: %s [N | A..B]   (seed count or inclusive range; got %S)\n"
+        tool argv.(1);
+      exit 2

@@ -13,10 +13,16 @@ module Config = Zkopt_zkvm.Config
 
 let schema = "rv32-cg1"
 
-(** Wrap an assembled RV32 compilation as a family-shared artifact. *)
-let of_compiled (c : Measure.compiled) : Backend.compiled =
+(** Wrap an assembled RV32 compilation as a family-shared artifact.
+    [?config] pins the cost config instead of resolving it from the
+    backend name at measurement time — used for ad-hoc config variants
+    (e.g. the fuzz engine's dense-shard §4.2 reproduction) that are not
+    in {!Config.all}. *)
+let of_compiled ?config (c : Measure.compiled) : Backend.compiled =
   let measure ~vm ?fault ?fuel ?attr () =
-    let cfg = Config.by_name vm in
+    let cfg =
+      match config with Some cfg -> cfg | None -> Config.by_name vm
+    in
     let raw = Measure.run_zkvm_raw ?fault ?fuel ?attr cfg c in
     {
       Backend.zk = Measure.zk_of_vm raw;
@@ -45,26 +51,31 @@ let of_compiled (c : Measure.compiled) : Backend.compiled =
              []));
   }
 
-let compile (m : Modul.t) : Backend.compiled =
-  of_compiled (Measure.compile_ir m)
+let compile ?config (m : Modul.t) : Backend.compiled =
+  of_compiled ?config (Measure.compile_ir m)
 
-let decode (m : Modul.t) (s : string) : Backend.compiled option =
+let decode ?config (m : Modul.t) (s : string) : Backend.compiled option =
   try
     let (codegen : Zkopt_riscv.Codegen.t), (static_instrs : int) =
       Marshal.from_string s 0
     in
-    Some (of_compiled { Measure.modul = m; codegen; static_instrs })
+    Some (of_compiled ?config { Measure.modul = m; codegen; static_instrs })
   with _ -> None
 
-let backend (cfg : Config.t) ~doc : Backend.t =
+(** [backend cfg ~doc] builds a registry-shape backend for a config in
+    {!Config.all}; [~fixed:true] instead pins [cfg] into the artifact
+    (and gives the backend a private schema so it never shares cached
+    artifacts priced under another name's config). *)
+let backend ?(fixed = false) (cfg : Config.t) ~doc : Backend.t =
+  let config = if fixed then Some cfg else None in
   {
     Backend.name = cfg.Config.name;
     doc;
     zk_native = false;
-    schema;
+    schema = (if fixed then schema ^ "@" ^ cfg.Config.name else schema);
     segment_pad =
       (fun n ->
         Zkopt_zkvm.Prover.next_pow2 (max (1 lsl cfg.Config.min_po2) n) - n);
-    compile;
-    decode;
+    compile = compile ?config;
+    decode = decode ?config;
   }

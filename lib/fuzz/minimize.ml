@@ -1,0 +1,226 @@
+(** Delta-debugging minimizer over IR.
+
+    Shrinks a failing case's base module while preserving the
+    divergence's classification key (checked by a caller-supplied
+    [repro] predicate that re-runs the whole oracle stack on each
+    candidate).  Reductions are recorded as a replayable {!step} trace:
+    a corpus entry stores the source plus its accepted steps, and replay
+    regenerates the base and re-applies the trace — no IR parser needed.
+
+    Candidate reductions, coarsest first:
+
+    - drop a whole (unreferenced, non-entry) block;
+    - collapse a conditional branch to one of its arms;
+    - drop a single instruction;
+    - replace a register operand with the immediate 0.
+
+    Every accepted step strictly decreases the lexicographic size
+    measure (blocks, instrs, conditional branches, register operands),
+    so the greedy loop reaches a fixpoint: a full round in which no
+    candidate both applies and reproduces terminates the search.
+    Candidates that leave the module ill-formed are rejected
+    automatically — the oracle stack classifies them as a [base]-stage
+    ill-formed divergence, which cannot match a non-[base] key (and an
+    originally ill-formed case must stay ill-formed to reproduce). *)
+
+open Zkopt_ir
+
+type step =
+  | Drop_instr of { func : string; block : string; index : int }
+  | Drop_block of { func : string; block : string }
+  | Cbr_to_br of { func : string; block : string; taken : bool }
+  | Imm_operand of { func : string; block : string; index : int; operand : int }
+      (** replace the [operand]-th register operand (in {!Instr.map_values}
+          traversal order) of instruction [index] with immediate 0 *)
+
+let step_to_string = function
+  | Drop_instr { func; block; index } ->
+    Printf.sprintf "drop-instr %s %s %d" func block index
+  | Drop_block { func; block } -> Printf.sprintf "drop-block %s %s" func block
+  | Cbr_to_br { func; block; taken } ->
+    Printf.sprintf "cbr-to-br %s %s %b" func block taken
+  | Imm_operand { func; block; index; operand } ->
+    Printf.sprintf "imm-operand %s %s %d %d" func block index operand
+
+let step_of_string (s : string) : step option =
+  match String.split_on_char ' ' s with
+  | [ "drop-instr"; func; block; index ] ->
+    Option.map
+      (fun index -> Drop_instr { func; block; index })
+      (int_of_string_opt index)
+  | [ "drop-block"; func; block ] -> Some (Drop_block { func; block })
+  | [ "cbr-to-br"; func; block; taken ] ->
+    Option.map
+      (fun taken -> Cbr_to_br { func; block; taken })
+      (bool_of_string_opt taken)
+  | [ "imm-operand"; func; block; index; operand ] -> (
+    match (int_of_string_opt index, int_of_string_opt operand) with
+    | Some index, Some operand ->
+      Some (Imm_operand { func; block; index; operand })
+    | _ -> None)
+  | _ -> None
+
+(** Apply one step to [m] in place.  Returns [false] (leaving [m]
+    unchanged) when the step addresses a site that no longer exists —
+    defensive, so a stale trace or a shifted index cannot corrupt the
+    module, only fail to reduce it. *)
+let apply (m : Modul.t) (s : step) : bool =
+  let with_block func block k =
+    match Modul.find_func m func with
+    | None -> false
+    | Some f -> (
+      match Func.find_block f block with None -> false | Some b -> k f b)
+  in
+  match s with
+  | Drop_instr { func; block; index } ->
+    with_block func block (fun _ b ->
+        if index < 0 || index >= List.length b.Block.instrs then false
+        else begin
+          b.Block.instrs <- List.filteri (fun i _ -> i <> index) b.Block.instrs;
+          true
+        end)
+  | Drop_block { func; block } ->
+    with_block func block (fun f _ ->
+        let entry =
+          match f.Func.blocks with b :: _ -> b.Block.label | [] -> ""
+        in
+        let referenced =
+          List.exists
+            (fun (b' : Block.t) ->
+              (not (String.equal b'.Block.label block))
+              && List.mem block (Block.successors b'))
+            f.Func.blocks
+        in
+        if String.equal entry block || referenced then false
+        else begin
+          Func.remove_block f block;
+          true
+        end)
+  | Cbr_to_br { func; block; taken } ->
+    with_block func block (fun _ b ->
+        match b.Block.term with
+        | Instr.Cbr { if_true; if_false; _ } ->
+          b.Block.term <- Instr.Br (if taken then if_true else if_false);
+          true
+        | _ -> false)
+  | Imm_operand { func; block; index; operand } ->
+    with_block func block (fun _ b ->
+        match List.nth_opt b.Block.instrs index with
+        | None -> false
+        | Some i ->
+          let count = ref 0 in
+          let hit = ref false in
+          let i' =
+            Instr.map_values
+              (fun v ->
+                match v with
+                | Value.Reg _ ->
+                  let k = !count in
+                  incr count;
+                  if k = operand then begin
+                    hit := true;
+                    Value.Imm 0L
+                  end
+                  else v
+                | _ -> v)
+              i
+          in
+          if not !hit then false
+          else begin
+            b.Block.instrs <-
+              List.mapi (fun j x -> if j = index then i' else x) b.Block.instrs;
+            true
+          end)
+
+let apply_all (m : Modul.t) (steps : step list) : bool =
+  List.for_all (fun s -> apply m s) steps
+
+(* The strictly-decreasing size measure behind the fixpoint argument. *)
+let size (m : Modul.t) : int =
+  List.fold_left
+    (fun acc (f : Func.t) ->
+      List.fold_left
+        (fun acc (b : Block.t) ->
+          let instrs = List.length b.Block.instrs in
+          let regops =
+            List.fold_left
+              (fun acc i -> acc + List.length (Instr.uses i))
+              0 b.Block.instrs
+          in
+          let cbr = match b.Block.term with Instr.Cbr _ -> 1 | _ -> 0 in
+          acc + 1 + instrs + regops + cbr)
+        acc f.Func.blocks)
+    0 m.Modul.funcs
+
+let instr_count = Modul.instr_count
+
+(* Candidate steps for the current module, coarsest reductions first. *)
+let candidates (m : Modul.t) : step list =
+  List.concat_map
+    (fun (f : Func.t) ->
+      let func = f.Func.name in
+      let entry =
+        match f.Func.blocks with b :: _ -> b.Block.label | [] -> ""
+      in
+      let block_drops =
+        List.filter_map
+          (fun (b : Block.t) ->
+            if String.equal b.Block.label entry then None
+            else Some (Drop_block { func; block = b.Block.label }))
+          f.Func.blocks
+      in
+      let per_block =
+        List.concat_map
+          (fun (b : Block.t) ->
+            let block = b.Block.label in
+            let cbrs =
+              match b.Block.term with
+              | Instr.Cbr _ ->
+                [
+                  Cbr_to_br { func; block; taken = true };
+                  Cbr_to_br { func; block; taken = false };
+                ]
+              | _ -> []
+            in
+            let drops =
+              List.init (List.length b.Block.instrs) (fun index ->
+                  Drop_instr { func; block; index })
+            in
+            let imms =
+              List.concat
+                (List.mapi
+                   (fun index i ->
+                     List.init (List.length (Instr.uses i)) (fun operand ->
+                         Imm_operand { func; block; index; operand }))
+                   b.Block.instrs)
+            in
+            cbrs @ drops @ imms)
+          f.Func.blocks
+      in
+      block_drops @ per_block)
+    m.Modul.funcs
+
+(** Greedily shrink [base] (never mutated) under [repro].  Returns the
+    minimized module and the accepted step trace, in application order.
+    Within a round, accepted steps apply cumulatively; candidates whose
+    indices went stale simply fail to apply or to reproduce, and the
+    next round re-enumerates from the smaller module.  Terminates at a
+    fixpoint because every accepted step strictly shrinks {!size}. *)
+let minimize ~(repro : Modul.t -> bool) (base : Modul.t) :
+    Modul.t * step list =
+  let current = ref (Clone.modul base) in
+  let steps = ref [] in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun step ->
+        let cand = Clone.modul !current in
+        if apply cand step && size cand < size !current && repro cand then begin
+          current := cand;
+          steps := step :: !steps;
+          progress := true
+        end)
+      (candidates !current)
+  done;
+  (!current, List.rev !steps)

@@ -30,6 +30,15 @@ let kind_name = function
   | Truncated_final_segment -> "truncated-final-segment"
   | Corrupt_exit_value -> "corrupt-exit-value"
 
+let all_kinds =
+  [ Silent_halt_on_boundary_jalr; Dropped_page_out; Truncated_final_segment;
+    Corrupt_exit_value ]
+
+(** Inverse of {!kind_name}; the fuzz corpus codec round-trips injected
+    faults through their names. *)
+let kind_of_name name =
+  List.find_opt (fun k -> String.equal (kind_name k) name) all_kinds
+
 let to_executor_fault : kind -> Zkopt_zkvm.Executor.fault = function
   | Silent_halt_on_boundary_jalr ->
     Zkopt_zkvm.Executor.Silent_halt_on_boundary_jalr

@@ -12,8 +12,27 @@
 
 module B = Builder
 
+(** Size/feature knobs for the generator.  [default_knobs] reproduces the
+    historical generator byte-for-byte (same seed, same program), so the
+    seeded fuzz corpora stay stable; a fuzz campaign can scale programs
+    up ([budget]) or carve out feature subsets ([calls]/[memory]/[wide])
+    to localize which construct a divergence needs. *)
+type knobs = {
+  budget : int;        (** instruction budget for [main]'s body *)
+  max_depth : int;     (** loop/branch nesting limit *)
+  max_loop_bound : int;(** loop trip counts are 1..this *)
+  calls : bool;        (** emit calls to the helper function *)
+  memory : bool;       (** emit global-array loads and stores *)
+  wide : bool;         (** emit i64 variables and operations *)
+}
+
+let default_knobs =
+  { budget = 60; max_depth = 3; max_loop_bound = 6;
+    calls = true; memory = true; wide = true }
+
 type gen = {
   rng : Random.State.t;
+  knobs : knobs;
   mutable vars32 : Value.reg list;   (* mutable i32 variables *)
   mutable vars64 : Value.reg list;
   mutable ro32 : Value.reg list;     (* readable but never reassigned (loop ivs) *)
@@ -66,7 +85,7 @@ let rand_expr32 g b =
       (B.icmp b Instr.Ne (rand_value32 g) (B.imm 0))
       (rand_value32 g) (rand_value32 g)
   | 6 when g.vars64 <> [] -> B.trunc b (rand_value64 g)
-  | 7 ->
+  | 7 when g.knobs.memory ->
     (* in-bounds load *)
     let idx = B.and_ b (rand_value32 g) (B.imm (array_words - 1)) in
     B.load b (B.addr b (Value.Glob "garr") ~index:idx)
@@ -93,20 +112,20 @@ let rec rand_stmt g b ~can_call =
       let v = rand_expr32 g b in
       let r = B.var b Ty.I32 v in
       g.vars32 <- r :: g.vars32
-    | 3 ->
+    | 3 when g.knobs.wide ->
       let v = rand_expr64 g b in
       let r = B.var b Ty.I64 v in
       g.vars64 <- r :: g.vars64
     | 4 when g.vars32 <> [] ->
       B.set b Ty.I32 (pick g g.vars32) (rand_expr32 g b)
-    | 5 when g.vars64 <> [] ->
+    | 5 when g.vars64 <> [] && g.knobs.wide ->
       B.set b Ty.I64 (pick g g.vars64) (rand_expr64 g b)
-    | 6 ->
+    | 6 when g.knobs.memory ->
       (* in-bounds store *)
       let idx = B.and_ b (rand_value32 g) (B.imm (array_words - 1)) in
       B.store b ~addr:(B.addr b (Value.Glob "garr") ~index:idx) (rand_value32 g)
-    | 7 when g.depth < 3 ->
-      let bound = 1 + Random.State.int g.rng 6 in
+    | 7 when g.depth < g.knobs.max_depth ->
+      let bound = 1 + Random.State.int g.rng g.knobs.max_loop_bound in
       g.depth <- g.depth + 1;
       let saved32 = g.vars32 and saved64 = g.vars64 and saved_ro = g.ro32 in
       B.for_ b ~from:(B.imm 0) ~bound:(B.imm bound) (fun iv ->
@@ -119,7 +138,7 @@ let rec rand_stmt g b ~can_call =
       g.vars64 <- saved64;
       g.ro32 <- saved_ro;
       g.depth <- g.depth - 1
-    | 8 when g.depth < 3 ->
+    | 8 when g.depth < g.knobs.max_depth ->
       let c = B.icmp b Instr.Ne (rand_value32 g) (B.imm 0) in
       g.depth <- g.depth + 1;
       let saved32 = g.vars32 and saved64 = g.vars64 in
@@ -136,7 +155,7 @@ let rec rand_stmt g b ~can_call =
       g.vars32 <- saved32;
       g.vars64 <- saved64;
       g.depth <- g.depth - 1
-    | 9 when can_call ->
+    | 9 when can_call && g.knobs.calls ->
       let r = B.callv b "helper" [ rand_value32 g; rand_value64 g ] in
       g.vars32 <- (match r with Value.Reg r -> r :: g.vars32 | _ -> g.vars32)
     | _ ->
@@ -168,7 +187,7 @@ let checksum_expr g b =
 (** Generate a random module whose [main] returns a checksum of every
     live variable and the global array.  [probe] (debugging aid) returns
     the value of a single i32/i64 variable instead of the checksum. *)
-let generate ?probe ~seed () : Modul.t =
+let generate ?probe ?(knobs = default_knobs) ~seed () : Modul.t =
   let rng = Random.State.make [| seed |] in
   let m = Modul.create () in
   ignore
@@ -178,7 +197,8 @@ let generate ?probe ~seed () : Modul.t =
   (* a small helper so passes like inline/ipsccp/deadarg have material *)
   ignore
     (B.define m "helper" ~params:[ Ty.I32; Ty.I64 ] ~ret:Ty.I32 (fun b ps ->
-         let g = { rng; vars32 = []; vars64 = []; ro32 = []; depth = 2; budget = 8 } in
+         let g = { rng; knobs; vars32 = []; vars64 = []; ro32 = [];
+                   depth = max 0 (knobs.max_depth - 1); budget = 8 } in
          (match ps with
          | [ Value.Reg a; Value.Reg b64 ] ->
            g.vars32 <- [ a ];
@@ -194,7 +214,8 @@ let generate ?probe ~seed () : Modul.t =
          B.ret b (Some (Value.Reg acc))));
   ignore
     (B.define m "main" ~params:[] ~ret:Ty.I32 (fun b _ ->
-         let g = { rng; vars32 = []; vars64 = []; ro32 = []; depth = 0; budget = 60 } in
+         let g = { rng; knobs; vars32 = []; vars64 = []; ro32 = []; depth = 0;
+                   budget = knobs.budget } in
          let n = 6 + Random.State.int rng 10 in
          for _ = 1 to n do
            rand_stmt g b ~can_call:true

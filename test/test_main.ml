@@ -13,4 +13,5 @@ let () =
       ("exec", Test_exec.tests);
       ("prof", Test_prof.tests);
       ("backend", Test_backend.tests);
+      ("fuzz", Test_fuzz.tests);
     ]
