@@ -17,6 +17,12 @@
                                          # differential fuzzing campaign
     zkbench autotune npb-mg --iters 80   # GA pass-sequence search
     zkbench asm fibonacci -O3            # dump the RV32 assembly
+    zkbench serve --dir _zkserve &       # persistent sweep service
+    zkbench submit sweep --programs factorial,sha256 --quick
+                                         # queue a job; rows stream back
+    zkbench status                       # jobs + shared-cache counters
+    zkbench shutdown                     # graceful drain (resumable)
+    zkbench bench                        # cells/sec throughput baseline
     v} *)
 
 open Cmdliner
@@ -677,6 +683,370 @@ let asm_cmd =
   Cmd.v (Cmd.info "asm" ~doc:"Dump the generated RV32 assembly")
     Term.(const run $ prog_arg $ quick_arg $ level_arg $ pass_arg $ zk_o3_arg)
 
+(* ---- the sweep service ----------------------------------------------- *)
+
+module Serve_job = Zkopt_serve.Job
+module Serve_proto = Zkopt_serve.Proto
+module Serve_client = Zkopt_serve.Client
+
+let dir_arg =
+  Arg.(value & opt string "_zkserve"
+       & info [ "dir" ] ~docv:"DIR"
+           ~doc:"Service state directory (job registry, checkpoints, \
+                 default socket)")
+
+let sock_arg =
+  Arg.(value & opt (some string) None
+       & info [ "sock" ] ~docv:"PATH"
+           ~doc:"Unix-domain socket path (default: DIR/zkbench.sock)")
+
+let sock_of ~dir ~sock =
+  match sock with Some p -> p | None -> Filename.concat dir "zkbench.sock"
+
+let serve_cmd =
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains shared by every job (default: the \
+                   recommended domain count of this machine)")
+  in
+  let run dir sock jobs =
+    let jobs =
+      match jobs with
+      | Some n -> max 1 n
+      | None -> Zkopt_exec.Pool.recommended_jobs ()
+    in
+    Zkopt_serve.Daemon.run ~jobs ?sock ~log:print_endline ~dir ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the persistent sweep service: a priority job queue over \
+             one warm domain pool and compile cache, streaming rows to \
+             clients over a unix socket; SIGTERM drains and a restart \
+             resumes every unfinished job from its checkpoint")
+    Term.(const run $ dir_arg $ sock_arg $ jobs_arg)
+
+let comma_list s =
+  List.filter (fun x -> x <> "") (String.split_on_char ',' s)
+
+let submit_cmd =
+  let kind_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"KIND"
+             ~doc:"Job kind: sweep | profile | autotune | fuzz")
+  in
+  let programs_arg =
+    Arg.(value & opt (some string) None
+         & info [ "programs" ] ~docv:"NAMES"
+             ~doc:"Comma-separated programs (sweep; default: full suite)")
+  in
+  let profiles_arg =
+    Arg.(value & opt (some string) None
+         & info [ "profiles" ] ~docv:"NAMES"
+             ~doc:"Comma-separated profiles (sweep; default: all 71)")
+  in
+  let backends_arg =
+    Arg.(value & opt (some string) None
+         & info [ "backends" ] ~docv:"NAMES"
+             ~doc:"Comma-separated backends (default: per-kind default)")
+  in
+  let program_arg =
+    Arg.(value & opt (some string) None
+         & info [ "program" ] ~docv:"NAME"
+             ~doc:"Program (profile/autotune kinds)")
+  in
+  let profile_arg =
+    Arg.(value & opt string "baseline"
+         & info [ "profile" ] ~docv:"NAME" ~doc:"Profile (profile kind)")
+  in
+  let vm_arg =
+    Arg.(value & opt string "risc0"
+         & info [ "vm" ] ~docv:"NAME"
+             ~doc:"Backend (profile/autotune kinds)")
+  in
+  let iters_arg =
+    Arg.(value & opt int 80
+         & info [ "iters" ] ~docv:"N" ~doc:"GA evaluations (autotune kind)")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"N" ~doc:"GA seed (autotune kind)")
+  in
+  let seeds_arg =
+    Arg.(value & opt string "1..25"
+         & info [ "seeds" ] ~docv:"LO..HI" ~doc:"Seed range (fuzz kind)")
+  in
+  let pipelines_arg =
+    Arg.(value & opt string "baseline,O2,O3"
+         & info [ "pipelines" ] ~docv:"SPECS"
+             ~doc:"Comma-separated pipeline specs (fuzz kind)")
+  in
+  let limit_arg =
+    Arg.(value & opt (some int) None
+         & info [ "limit" ] ~docv:"N" ~doc:"Stop after N new cells/cases")
+  in
+  let priority_arg =
+    Arg.(value & opt int 10
+         & info [ "priority" ] ~docv:"N"
+             ~doc:"Queue priority; lower runs sooner (FIFO within a \
+                   priority)")
+  in
+  let budget_arg =
+    Arg.(value & opt (some int) None
+         & info [ "budget" ] ~docv:"N"
+             ~doc:"Per-client failure budget shared by this connection's \
+                   jobs")
+  in
+  let no_watch_arg =
+    Arg.(value & flag
+         & info [ "no-watch" ]
+             ~doc:"Fire and forget: do not stream rows back (the job also \
+                   survives this client disconnecting)")
+  in
+  let run dir sock kind programs profiles backends program profile vm iters
+      seed seeds pipelines limit priority budget no_watch quick =
+    let spec =
+      match kind with
+      | "sweep" ->
+        Serve_job.Sweep
+          {
+            programs = Option.map comma_list programs;
+            profiles = Option.map comma_list profiles;
+            quick;
+            backends = Option.map comma_list backends;
+            limit;
+          }
+      | "profile" -> (
+        match program with
+        | Some program -> Serve_job.Profile_cell { program; profile; vm; quick }
+        | None -> failwith "profile jobs need --program")
+      | "autotune" -> (
+        match program with
+        | Some program ->
+          Serve_job.Autotune { program; iters; vm; quick; seed }
+        | None -> failwith "autotune jobs need --program")
+      | "fuzz" -> (
+        match Zkopt_devutil.Seedfmt.range_of_string seeds with
+        | Some (seed_lo, seed_hi) ->
+          Serve_job.Fuzz
+            {
+              seed_lo;
+              seed_hi;
+              pipelines = comma_list pipelines;
+              backends = Option.map comma_list backends;
+              limit;
+            }
+        | None -> failwith ("bad --seeds range: " ^ seeds))
+      | k -> failwith ("unknown job kind " ^ k)
+    in
+    let sock = sock_of ~dir ~sock in
+    let result =
+      Serve_client.with_connection sock (fun c ->
+          Serve_client.submit_and_watch ~priority ?budget
+            ~watch:(not no_watch)
+            ~on_event:(function
+              | Serve_proto.Row { data; _ } -> print_endline data
+              | _ -> ())
+            c spec)
+    in
+    match result with
+    | Ok (id, `Done summary) ->
+      if no_watch then Printf.printf "submitted %s (not watching)\n" id
+      else Printf.printf "%s done: %s\n" id (Json.to_string summary)
+    | Ok (id, `Failed msg) ->
+      Printf.eprintf "%s failed: %s\n" id msg;
+      exit 1
+    | Error msg ->
+      Printf.eprintf "submit: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a job (sweep | profile | autotune | fuzz) to a running \
+             `zkbench serve` daemon and stream its rows back")
+    Term.(const run $ dir_arg $ sock_arg $ kind_arg $ programs_arg
+          $ profiles_arg $ backends_arg $ program_arg $ profile_arg $ vm_arg
+          $ iters_arg $ seed_arg $ seeds_arg $ pipelines_arg $ limit_arg
+          $ priority_arg $ budget_arg $ no_watch_arg $ quick_arg)
+
+let status_cmd =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print the raw status JSON")
+  in
+  let run dir sock json =
+    let sock = sock_of ~dir ~sock in
+    let result =
+      Serve_client.with_connection sock (fun c ->
+          match Serve_client.send c Serve_proto.Status with
+          | Error e -> Error e
+          | Ok () -> (
+            match Serve_client.recv c with
+            | Ok (Serve_proto.Status_report s) -> Ok s
+            | Ok _ -> Error "unexpected reply to status"
+            | Error `Eof -> Error "daemon closed the connection"
+            | Error (`Bad msg) -> Error msg))
+    in
+    match result with
+    | Error msg ->
+      Printf.eprintf "status: %s\n" msg;
+      exit 1
+    | Ok s ->
+      if json then print_endline (Json.to_string s)
+      else begin
+        (match Json.member "jobs" s with
+        | Some (Json.Arr jobs) ->
+          Printf.printf "%-8s %-9s %-10s %5s %5s %s\n" "id" "kind" "state"
+            "prio" "rows" "client";
+          List.iter
+            (fun j ->
+              let str k = Option.value ~default:"?" (Json.str_member k j) in
+              let int k = Option.value ~default:0 (Json.int_member k j) in
+              Printf.printf "%-8s %-9s %-10s %5d %5d %s\n" (str "id")
+                (str "kind") (str "state") (int "priority") (int "rows")
+                (str "client"))
+            jobs
+        | _ -> ());
+        match Json.member "cache" s with
+        | Some cache ->
+          let int k = Option.value ~default:0 (Json.int_member k cache) in
+          Printf.printf
+            "cache: %d mem + %d disk hits, %d compiles, %d evictions, %d \
+             resident\n"
+            (int "hits") (int "disk_hits") (int "misses") (int "evictions")
+            (int "resident")
+        | None -> ()
+      end
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Show a running daemon's jobs and shared compile-cache \
+             hit/miss/evict counters")
+    Term.(const run $ dir_arg $ sock_arg $ json_flag)
+
+let shutdown_cmd =
+  let run dir sock =
+    let sock = sock_of ~dir ~sock in
+    let result =
+      Serve_client.with_connection sock (fun c ->
+          match Serve_client.send c Serve_proto.Shutdown with
+          | Error e -> Error e
+          | Ok () -> (
+            match Serve_client.recv c with
+            | Ok (Serve_proto.Ack _) | Error `Eof -> Ok ()
+            | Ok _ -> Ok ()
+            | Error (`Bad msg) -> Error msg))
+    in
+    match result with
+    | Ok () -> print_endline "daemon draining (unfinished jobs resume on restart)"
+    | Error msg ->
+      Printf.eprintf "shutdown: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "shutdown"
+       ~doc:"Ask a running daemon to drain gracefully: the running job \
+             checkpoints at its next cell boundary and everything \
+             unfinished resumes when the daemon restarts")
+    Term.(const run $ dir_arg $ sock_arg)
+
+(* ---- throughput baseline --------------------------------------------- *)
+
+let bench_cmd =
+  let module H = Zkopt_harness.Harness in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "out" ] ~docv:"FILE"
+             ~doc:"Output path (default: BENCH_<date>.json)")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N" ~doc:"Worker domains")
+  in
+  (* the fixed slice: small misc programs x the standard levels, so the
+     baseline is comparable across commits *)
+  let slice_programs = [ "factorial"; "loop-sum"; "sha256"; "tailcall" ] in
+  let slice_profiles = [ "baseline"; "-O1"; "-O2"; "-O3" ] in
+  let run out jobs =
+    let jobs =
+      match jobs with
+      | Some n -> max 1 n
+      | None -> Zkopt_exec.Pool.recommended_jobs ()
+    in
+    let cache = Zkopt_exec.Cache.create ?dir:None () in
+    let profiles = List.map profile_by_name slice_profiles in
+    let phase name =
+      let t0 = Unix.gettimeofday () in
+      let before = Zkopt_exec.Cache.stats cache in
+      let cfg =
+        {
+          (H.default ~size:Zkopt_workloads.Workload.Quick) with
+          H.programs = Some slice_programs;
+          profiles = Some profiles;
+          jobs;
+          cache = Some cache;
+        }
+      in
+      let o = H.run cfg in
+      let dt = Unix.gettimeofday () -. t0 in
+      let cells = Hashtbl.length o.H.points in
+      let s =
+        Zkopt_exec.Cache.sub_stats (Zkopt_exec.Cache.stats cache) before
+      in
+      Printf.printf
+        "%-10s %3d cells in %6.2fs  (%6.2f cells/s, cache %.1f%%)\n" name
+        cells dt
+        (float_of_int cells /. dt)
+        (Zkopt_exec.Cache.hit_rate_pct s);
+      Json.Obj
+        [
+          ("family", Json.Str name);
+          ("cells", Json.Int cells);
+          ("avg_seconds", Json.Float (dt /. float_of_int (max 1 cells)));
+          ("cells_per_second", Json.Float (float_of_int cells /. dt));
+          ("cache_hit_rate_pct", Json.Float (Zkopt_exec.Cache.hit_rate_pct s));
+        ]
+    in
+    let cold = phase "sweep-cold" in
+    let warm = phase "sweep-warm" in
+    let date =
+      let tm = Unix.localtime (Unix.time ()) in
+      Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+        (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+    in
+    let doc =
+      Json.Obj
+        [
+          ("schema", Json.Str "zkbench-bench-v1");
+          ("date", Json.Str date);
+          ("jobs", Json.Int jobs);
+          ( "slice",
+            Json.Obj
+              [
+                ( "programs",
+                  Json.Arr (List.map (fun p -> Json.Str p) slice_programs) );
+                ( "profiles",
+                  Json.Arr (List.map (fun p -> Json.Str p) slice_profiles) );
+              ] );
+          ("rows", Json.Arr [ cold; warm ]);
+        ]
+    in
+    let path =
+      match out with Some p -> p | None -> "BENCH_" ^ date ^ ".json"
+    in
+    let oc = open_out path in
+    output_string oc (Json.to_string doc);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "wrote %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Measure sweep throughput (cells/second) on a fixed slice, \
+             cold and warm compile cache, and emit a BENCH_<date>.json \
+             baseline")
+    Term.(const run $ out_arg $ jobs_arg)
+
 let () =
   let info =
     Cmd.info "zkbench" ~version:"1.0"
@@ -686,4 +1056,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; passes_cmd; backends_cmd; run_cmd; profile_cmd;
-            sweep_cmd; sweepall_cmd; fuzz_cmd; autotune_cmd; asm_cmd ]))
+            sweep_cmd; sweepall_cmd; fuzz_cmd; autotune_cmd; asm_cmd;
+            serve_cmd; submit_cmd; status_cmd; shutdown_cmd; bench_cmd ]))

@@ -95,6 +95,14 @@ let create ?(capacity = 512) ?dir () : _ t =
     evictions = 0;
   }
 
+(** Entries currently resident in memory (the service status surface
+    reports this next to the hit/miss/evict counters). *)
+let resident t : int =
+  Mutex.lock t.mu;
+  let n = Hashtbl.length t.table in
+  Mutex.unlock t.mu;
+  n
+
 let stats t : stats =
   Mutex.lock t.mu;
   let s =

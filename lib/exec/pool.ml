@@ -10,9 +10,14 @@
 
     - every submitted task runs exactly once (no lost or duplicated
       work), unless a task raises first;
-    - the first exception a task raises poisons the pool: queued tasks
-      are dropped, in-flight tasks finish, and {!wait} re-raises it on
-      the submitting domain;
+    - the first exception a task raises poisons the current wave:
+      queued tasks are dropped, in-flight tasks finish, and {!wait}
+      re-raises it on the submitting domain;
+    - poison is scoped to the wave, not the pool: {!wait} clears it
+      after re-raising and the workers stay alive, so the same pool
+      serves the next wave — a long-running service multiplexes many
+      independent jobs onto one warm set of domains and a failed job
+      cannot brick the pool for the jobs behind it;
     - with [jobs = 1] tasks execute in exact submission order, so a
       1-worker pool reproduces the old sequential sweep behavior.
 
@@ -36,16 +41,16 @@ type t = {
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+(* Poison the current wave: queued tasks are dropped, the exception is
+   parked for [wait], and the workers stay alive for the next wave. *)
 let poison_locked pool e =
   if pool.poison = None then begin
     pool.poison <- Some e;
-    pool.stop <- true;
     (* queued tasks will never run; stop counting them as pending *)
     Array.iter
       (fun d -> pool.unfinished <- pool.unfinished - Deque.clear d)
       pool.deques;
-    Condition.broadcast pool.work;
-    Condition.broadcast pool.idle
+    if pool.unfinished = 0 then Condition.broadcast pool.idle
   end
 
 (* Called with [pool.mu] held: the worker's own deque front, else steal
@@ -121,7 +126,7 @@ let create ~jobs : t =
     {!wait}). *)
 let submit pool task =
   Mutex.lock pool.mu;
-  if not pool.stop then begin
+  if (not pool.stop) && pool.poison = None then begin
     Deque.push pool.deques.(pool.rr) task;
     pool.rr <- (pool.rr + 1) mod pool.jobs;
     pool.unfinished <- pool.unfinished + 1;
@@ -129,14 +134,16 @@ let submit pool task =
   end;
   Mutex.unlock pool.mu
 
-(** Block until every submitted task has completed; re-raises the first
-    exception any task raised. *)
+(** Block until the pool is quiescent (queued tasks done or dropped,
+    in-flight tasks finished); re-raises the first exception any task
+    raised and clears it, leaving the pool ready for the next wave. *)
 let wait pool =
   Mutex.lock pool.mu;
-  while pool.unfinished > 0 && pool.poison = None do
+  while pool.unfinished > 0 do
     Condition.wait pool.idle pool.mu
   done;
   let p = pool.poison in
+  pool.poison <- None;
   Mutex.unlock pool.mu;
   match p with Some e -> raise e | None -> ()
 

@@ -31,6 +31,18 @@ module Faultplan = Zkopt_harness.Faultplan
 module Backend = Zkopt_backend.Backend
 module Pool = Zkopt_exec.Pool
 
+(* ---- checkpoint / streaming rows ------------------------------------- *)
+
+(** One completed case, as streamed to subscribers and persisted to the
+    checkpoint.  [status] is ["agree"] or a {!Case.divergence_key};
+    [detail] is ["-"] or the sanitized divergence detail. *)
+type row = {
+  src : string;
+  spec : string;
+  status : string;
+  detail : string;
+}
+
 (* ---- plan ------------------------------------------------------------ *)
 
 type config = {
@@ -50,6 +62,20 @@ type config = {
   fuel : int;
   limit : int option;  (** cap the plan after enumeration (tests) *)
   log : string -> unit;
+  pool : Pool.t option;
+      (** external worker pool to run cases on; [None] = a private pool
+          of [jobs] domains.  A service passes its long-lived pool so
+          campaigns share the warm domains with every other job kind;
+          the campaign never shuts it down. *)
+  on_row : (row -> unit) option;
+      (** streaming hook, called once per completed-case row — rows
+          resumed from the checkpoint first, then rows produced by this
+          run in completion order.  Called from worker domains
+          concurrently; the callback must be thread-safe. *)
+  stop : unit -> bool;
+      (** cooperative cancellation, polled before each case: once it
+          returns [true], remaining cases are skipped (no row), so a
+          later resume picks them up where this run drained. *)
 }
 
 let default ~backends =
@@ -68,6 +94,9 @@ let default ~backends =
     fuel = Case.default_fuel;
     limit = None;
     log = ignore;
+    pool = None;
+    on_row = None;
+    stop = (fun () -> false);
   }
 
 (* Deterministic per-source integer feeding the random-pipeline rng —
@@ -117,13 +146,6 @@ let plan (cfg : config) : Case.t list =
 (* ---- checkpoint rows ------------------------------------------------- *)
 
 let ckpt_version = "zkopt-fuzzckpt-v1"
-
-type row = {
-  src : string;
-  spec : string;
-  status : string;  (** ["agree"] or a {!Case.divergence_key} *)
-  detail : string;  (** ["-"] or the sanitized divergence detail *)
-}
 
 let row_key (r : row) = r.src ^ "\t" ^ r.spec
 
@@ -315,6 +337,15 @@ let run (cfg : config) : summary =
   let todo, resumed =
     List.partition (fun c -> not (Hashtbl.mem done_rows (case_key c))) cases
   in
+  (* resumed rows stream too (in plan order), so a subscriber that
+     attaches after a restart still sees the full row sequence *)
+  Option.iter
+    (fun f ->
+      List.iter
+        (fun c ->
+          Option.iter f (Hashtbl.find_opt done_rows (case_key c)))
+        resumed)
+    cfg.on_row;
   let writer = Option.map open_writer cfg.checkpoint in
   let mu = Mutex.create () in
   let found = ref 0 in
@@ -337,7 +368,7 @@ let run (cfg : config) : summary =
       Mutex.lock mu;
       let ok = budget_ok () in
       Mutex.unlock mu;
-      ok
+      ok && not (cfg.stop ())
     in
     if proceed then begin
       (* quarantine: Case.run_case classifies everything its stages can
@@ -372,14 +403,20 @@ let run (cfg : config) : summary =
              | Some p -> " [" ^ Filename.basename p ^ "]"
              | None -> "")));
       Mutex.unlock mu;
-      Option.iter (fun w -> write_row w (row_of_verdict c verdict)) writer
+      let row = row_of_verdict c verdict in
+      Option.iter (fun w -> write_row w row) writer;
+      Option.iter (fun f -> f row) cfg.on_row
     end
   in
-  let pool = Pool.create ~jobs:(max 1 cfg.jobs) in
+  let pool, owned_pool =
+    match cfg.pool with
+    | Some p -> (p, false)  (* shared service pool: never shut down *)
+    | None -> (Pool.create ~jobs:(max 1 cfg.jobs), true)
+  in
   List.iter (fun c -> Pool.submit pool (task c)) todo;
   let finish () =
     Pool.wait pool;
-    Pool.shutdown pool
+    if owned_pool then Pool.shutdown pool
   in
   (match finish () with
   | () -> ()

@@ -152,8 +152,31 @@ type writer = {
   mutable pending : int;
 }
 
+(* A kill can shear the final line.  [load] already skips the torn
+   fragment, but appending straight after it would concatenate the next
+   record onto the garbage and lose that row too — so seal a torn tail
+   with a newline before the first append, turning the fragment into
+   its own (skipped) line and letting resume converge byte-wise. *)
+let seal_torn_tail (path : string) =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let sheared =
+    n > 0
+    && begin
+         seek_in ic (n - 1);
+         input_char ic <> '\n'
+       end
+  in
+  close_in ic;
+  if sheared then begin
+    let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
+    output_char oc '\n';
+    close_out oc
+  end
+
 let create ?(every = 25) (path : string) : writer =
   let existed = Sys.file_exists path in
+  if existed then seal_torn_tail path;
   let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
   if not existed then begin
     output_string oc (version ^ "\n");

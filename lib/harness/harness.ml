@@ -69,6 +69,21 @@ type config = {
       (** backends to measure each cell on, in order; the head backend
           is the differential-oracle reference.  [None] = the classic
           risc0 + sp1 pair from the registry. *)
+  pool : Pool.t option;
+      (** external worker pool to run cells on; [None] = a private pool
+          of [jobs] domains created and destroyed by this run.  A
+          service passes its long-lived pool so every job shares one
+          warm set of domains; the harness never shuts it down. *)
+  on_point : (Cell.point -> unit) option;
+      (** streaming hook, called once per accepted point — both points
+          resumed from the checkpoint (before any cell runs) and points
+          measured by this run, in completion order.  Called from worker
+          domains concurrently; the callback must be thread-safe. *)
+  stop : unit -> bool;
+      (** cooperative cancellation, polled before each cell: once it
+          returns [true], remaining cells are skipped (no point, no
+          checkpoint row) and the outcome reports [completed = false],
+          so a later run resumes exactly where this one drained. *)
 }
 
 let default ~size =
@@ -87,6 +102,9 @@ let default ~size =
     jobs = 1;
     cache = None;
     backends = None;
+    pool = None;
+    on_point = None;
+    stop = (fun () -> false);
   }
 
 (** Resolve the sweep's backend list (non-empty, unique names). *)
@@ -257,7 +275,10 @@ let run (cfg : config) : outcome =
     List.iter
       (fun (p : Cell.point) ->
         Hashtbl.replace points (p.Cell.program, p.Cell.profile) p;
-        incr resumed)
+        incr resumed;
+        (* resumed points stream too, so a subscriber that attaches
+           after a restart still sees the full row sequence *)
+        Option.iter (fun f -> f p) cfg.on_point)
       (Checkpoint.load path)
   | _ -> ());
   (* Pending cells in the canonical (program-major, profile-minor)
@@ -309,7 +330,8 @@ let run (cfg : config) : outcome =
     | Some errs -> raise (Budget_exceeded errs)
     | None -> ()
   in
-  let process ((w : Zkopt_workloads.Workload.t), profile) () =
+  let stopped = ref false in
+  let process_cell ((w : Zkopt_workloads.Workload.t), profile) =
     let wname = w.Zkopt_workloads.Workload.name in
     let pname = Profile.name profile in
     let coord = { Error.program = wname; profile = pname; vm = "-" } in
@@ -377,7 +399,8 @@ let run (cfg : config) : outcome =
           Mutex.lock mu;
           Hashtbl.replace points (wname, pname) p;
           Mutex.unlock mu;
-          Option.iter (fun wr -> Checkpoint.async_append wr p) writer)));
+          Option.iter (fun wr -> Checkpoint.async_append wr p) writer;
+          Option.iter (fun f -> f p) cfg.on_point)));
     Mutex.lock mu;
     incr executed;
     let report =
@@ -391,6 +414,16 @@ let run (cfg : config) : outcome =
       Printf.eprintf "  sweep: %d/%d (this run: %d)\n%!" done_ total ex
     | None -> ()
   in
+  (* every queued cell polls the cancellation hook first: a drained run
+     skips the remainder (no rows) so a later resume picks them up *)
+  let process cell () =
+    if cfg.stop () then begin
+      Mutex.lock mu;
+      stopped := true;
+      Mutex.unlock mu
+    end
+    else process_cell cell
+  in
   (* Two waves: baselines first so the baseline-differential oracle sees
      a program's baseline checksum (when measured at all) regardless of
      how the scheduler interleaves the rest. *)
@@ -399,9 +432,13 @@ let run (cfg : config) : outcome =
       (fun (_, profile) -> String.equal (Profile.name profile) "baseline")
       pending
   in
-  let pool = Pool.create ~jobs:cfg.jobs in
+  let pool, owned_pool =
+    match cfg.pool with
+    | Some p -> (p, false)  (* shared service pool: never shut down *)
+    | None -> (Pool.create ~jobs:cfg.jobs, true)
+  in
   let finish () =
-    Pool.shutdown pool;
+    if owned_pool then Pool.shutdown pool;
     Option.iter Checkpoint.async_close writer
   in
   (try
@@ -421,6 +458,6 @@ let run (cfg : config) : outcome =
     executed = !executed;
     resumed = !resumed;
     retries = !retries;
-    completed;
+    completed = completed && not !stopped;
     cache_stats = Cache.sub_stats (Cache.stats cache) stats0;
   }

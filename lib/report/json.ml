@@ -1,7 +1,11 @@
-(** Minimal hand-rolled JSON printer for the machine-readable output
-    modes ([zkbench run --json], [zkbench profile --json]).  Emission
-    only — external tooling consumes these objects; nothing in the repo
-    parses them back. *)
+(** Minimal hand-rolled JSON printer and parser.
+
+    The printer backs the machine-readable output modes ([zkbench run
+    --json], [zkbench profile --json]) and the sweep service's wire
+    protocol; the parser ({!of_string}) exists for the service side of
+    that protocol — newline-delimited JSON requests and events — so it
+    accepts exactly standard JSON, one value per call, and reports
+    errors as [Error msg] rather than raising. *)
 
 type t =
   | Null
@@ -63,3 +67,193 @@ let to_string (v : t) =
   let buf = Buffer.create 256 in
   write buf v;
   Buffer.contents buf
+
+(* ---- parsing --------------------------------------------------------- *)
+
+exception Parse of string
+
+(** Recursive-descent parser over the whole input string.  Numbers with
+    a '.', 'e', or 'E' (or outside OCaml's int range) parse as [Float],
+    everything else as [Int], which round-trips everything {!to_string}
+    emits.  Escapes beyond the single-character set decode [\uXXXX] to
+    UTF-8. *)
+let of_string (s : string) : (t, string) result =
+  let len = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let err fmt = Printf.ksprintf (fun m -> raise (Parse (Printf.sprintf "%s at offset %d" m !pos))) fmt in
+  let skip_ws () =
+    while
+      !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < len && s.[!pos] = c then incr pos else err "expected %C" c
+  in
+  let literal word v =
+    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else err "bad literal"
+  in
+  let utf8 buf code =
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then err "unterminated string";
+      let c = s.[!pos] in
+      incr pos;
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        (if !pos >= len then err "unterminated escape");
+        let e = s.[!pos] in
+        incr pos;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if !pos + 4 > len then err "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          (match int_of_string_opt ("0x" ^ hex) with
+          | Some code -> utf8 buf code
+          | None -> err "bad \\u escape %S" hex)
+        | _ -> err "bad escape %C" e);
+        go ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let isfloat = ref false in
+    if peek () = Some '-' then incr pos;
+    while
+      !pos < len
+      && (match s.[!pos] with
+         | '0' .. '9' -> true
+         | '.' | 'e' | 'E' | '+' | '-' ->
+           isfloat := true;
+           true
+         | _ -> false)
+    do
+      incr pos
+    done;
+    let lit = String.sub s start (!pos - start) in
+    if !isfloat then
+      match float_of_string_opt lit with
+      | Some f -> Float f
+      | None -> err "bad number %S" lit
+    else begin
+      match int_of_string_opt lit with
+      | Some i -> Int i
+      | None -> (
+        match float_of_string_opt lit with
+        | Some f -> Float f (* out of int range *)
+        | None -> err "bad number %S" lit)
+    end
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> err "unexpected end of input"
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some '}' then begin
+        incr pos;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            members ((k, v) :: acc)
+          | Some '}' ->
+            incr pos;
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> err "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      incr pos;
+      skip_ws ();
+      if peek () = Some ']' then begin
+        incr pos;
+        Arr []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            incr pos;
+            elems (v :: acc)
+          | Some ']' ->
+            incr pos;
+            Arr (List.rev (v :: acc))
+          | _ -> err "expected ',' or ']'"
+        in
+        elems []
+      end
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> err "unexpected %C" c
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then err "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse msg -> Error msg
+
+(* ---- object helpers (used by the service protocol) ------------------- *)
+
+let member (k : string) (j : t) : t option =
+  match j with Obj kvs -> List.assoc_opt k kvs | _ -> None
+
+let str_member k j = match member k j with Some (Str s) -> Some s | _ -> None
+let int_member k j = match member k j with Some (Int i) -> Some i | _ -> None
+
+let bool_member k j =
+  match member k j with Some (Bool b) -> Some b | _ -> None

@@ -1,0 +1,93 @@
+(** Client side of the service protocol: connect to the daemon's unix
+    socket, send requests, read event lines.  Used by the [zkbench
+    submit]/[status] subcommands and by the tests' in-process clients. *)
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+let connect (sock : string) : (t, string) result =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX sock) with
+  | () ->
+    Ok
+      {
+        fd;
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd;
+      }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s (is `zkbench serve` running?)"
+         sock (Unix.error_message e))
+
+let send (t : t) (r : Proto.request) : (unit, string) result =
+  try
+    output_string t.oc (Proto.encode_request r ^ "\n");
+    flush t.oc;
+    Ok ()
+  with
+  | Sys_error e -> Error e
+  | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(** Next event from the daemon; [Error] covers both protocol noise and
+    a closed connection ([`Eof]). *)
+let recv (t : t) : (Proto.event, [ `Eof | `Bad of string ]) result =
+  match input_line t.ic with
+  | line -> (
+    match Proto.decode_event line with
+    | Ok ev -> Ok ev
+    | Error msg -> Error (`Bad msg))
+  | exception (End_of_file | Sys_error _) -> Error `Eof
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) ->
+    Error `Eof
+
+let close (t : t) = try close_in_noerr t.ic with _ -> ()
+
+let with_connection (sock : string) (f : t -> ('a, string) result) :
+    ('a, string) result =
+  match connect sock with
+  | Error e -> Error e
+  | Ok c ->
+    let r = try f c with e -> close c; raise e in
+    close c;
+    r
+
+(** Submit [spec] and, when [watch] (default), stream events until the
+    job's terminal event, calling [on_event] per event.  Returns the
+    job id and its terminal state. *)
+let submit_and_watch ?(priority = 10) ?budget ?(watch = true)
+    ?(on_event = fun (_ : Proto.event) -> ()) (c : t) (spec : Job.spec) :
+    (string * [ `Done of Zkopt_report.Json.t | `Failed of string ], string)
+    result =
+  match send c (Proto.Submit { spec; priority; budget; watch }) with
+  | Error e -> Error e
+  | Ok () -> (
+    let rec await_ack () =
+      match recv c with
+      | Ok (Proto.Ack { id }) -> Ok id
+      | Ok (Proto.Err { msg }) -> Error msg
+      | Ok _ -> await_ack ()
+      | Error `Eof -> Error "daemon closed the connection"
+      | Error (`Bad msg) -> Error msg
+    in
+    match await_ack () with
+    | Error e -> Error e
+    | Ok id ->
+      if not watch then Ok (id, `Done Zkopt_report.Json.Null)
+      else
+        let rec drain () =
+          match recv c with
+          | Ok (Proto.Done { id = did; summary }) when String.equal did id ->
+            Ok (id, `Done summary)
+          | Ok (Proto.Err { msg }) -> Ok (id, `Failed msg)
+          | Ok ev ->
+            on_event ev;
+            drain ()
+          | Error `Eof -> Error "daemon closed the connection mid-stream"
+          | Error (`Bad msg) -> Error msg
+        in
+        drain ())

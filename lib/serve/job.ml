@@ -1,0 +1,181 @@
+(** Service job descriptions.
+
+    A job is one unit of work the daemon's scheduler multiplexes onto
+    the shared domain pool: a (slice of the) sweep matrix, a single
+    profiled cell, an autotune search, or a differential fuzzing
+    campaign.  Specs are pure data with a JSON codec — the same encoding
+    travels over the wire protocol ({!Proto}) and into the daemon's
+    append-only job registry, so a killed daemon re-reads exactly what
+    its clients submitted. *)
+
+module Json = Zkopt_report.Json
+
+type spec =
+  | Sweep of {
+      programs : string list option;  (** [None] = the full suite *)
+      profiles : string list option;  (** [None] = all 71 profiles *)
+      quick : bool;
+      backends : string list option;  (** [None] = the registry default pair *)
+      limit : int option;
+    }
+  | Profile_cell of {
+      program : string;
+      profile : string;
+      vm : string;
+      quick : bool;
+    }  (** one (program, profile, backend) cell, warmed by/warming the
+           shared compile cache *)
+  | Autotune of {
+      program : string;
+      iters : int;
+      vm : string;
+      quick : bool;
+      seed : int;
+    }
+  | Fuzz of {
+      seed_lo : int;
+      seed_hi : int;
+      pipelines : string list;  (** {!Zkopt_fuzz.Case.pipeline_of_spec} specs *)
+      backends : string list option;  (** [None] = every registered backend *)
+      limit : int option;
+    }
+
+let kind_name = function
+  | Sweep _ -> "sweep"
+  | Profile_cell _ -> "profile"
+  | Autotune _ -> "autotune"
+  | Fuzz _ -> "fuzz"
+
+(** One submitted job.  [client] tags the submitting connection (the
+    unit of failure-budget accounting); [priority] orders the queue
+    (lower runs sooner, FIFO within a priority). *)
+type t = {
+  id : string;
+  client : string;
+  priority : int;
+  budget : int option;  (** per-client failure budget, if declared *)
+  spec : spec;
+}
+
+type state =
+  | Queued
+  | Running
+  | Finished
+  | Cancelled
+  | Failed of string
+
+let state_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Finished -> "done"
+  | Cancelled -> "cancelled"
+  | Failed _ -> "failed"
+
+(* ---- JSON codec ------------------------------------------------------ *)
+
+let strs xs = Json.Arr (List.map (fun s -> Json.Str s) xs)
+
+let opt_strs k = function None -> [] | Some xs -> [ (k, strs xs) ]
+let opt_int k = function None -> [] | Some i -> [ (k, Json.Int i) ]
+
+let spec_to_json : spec -> Json.t = function
+  | Sweep { programs; profiles; quick; backends; limit } ->
+    Json.Obj
+      ([ ("kind", Json.Str "sweep"); ("quick", Json.Bool quick) ]
+      @ opt_strs "programs" programs
+      @ opt_strs "profiles" profiles
+      @ opt_strs "backends" backends
+      @ opt_int "limit" limit)
+  | Profile_cell { program; profile; vm; quick } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "profile");
+        ("program", Json.Str program);
+        ("profile", Json.Str profile);
+        ("vm", Json.Str vm);
+        ("quick", Json.Bool quick);
+      ]
+  | Autotune { program; iters; vm; quick; seed } ->
+    Json.Obj
+      [
+        ("kind", Json.Str "autotune");
+        ("program", Json.Str program);
+        ("iters", Json.Int iters);
+        ("vm", Json.Str vm);
+        ("quick", Json.Bool quick);
+        ("seed", Json.Int seed);
+      ]
+  | Fuzz { seed_lo; seed_hi; pipelines; backends; limit } ->
+    Json.Obj
+      ([
+         ("kind", Json.Str "fuzz");
+         ("seed_lo", Json.Int seed_lo);
+         ("seed_hi", Json.Int seed_hi);
+         ("pipelines", strs pipelines);
+       ]
+      @ opt_strs "backends" backends
+      @ opt_int "limit" limit)
+
+let strs_member k j =
+  match Json.member k j with
+  | Some (Json.Arr xs) ->
+    Some
+      (List.filter_map (function Json.Str s -> Some s | _ -> None) xs)
+  | _ -> None
+
+let spec_of_json (j : Json.t) : (spec, string) result =
+  let quick = Option.value ~default:false (Json.bool_member "quick" j) in
+  match Json.str_member "kind" j with
+  | Some "sweep" ->
+    Ok
+      (Sweep
+         {
+           programs = strs_member "programs" j;
+           profiles = strs_member "profiles" j;
+           quick;
+           backends = strs_member "backends" j;
+           limit = Json.int_member "limit" j;
+         })
+  | Some "profile" -> (
+    match (Json.str_member "program" j, Json.str_member "profile" j) with
+    | Some program, Some profile ->
+      Ok
+        (Profile_cell
+           {
+             program;
+             profile;
+             vm = Option.value ~default:"risc0" (Json.str_member "vm" j);
+             quick;
+           })
+    | _ -> Error "profile job needs \"program\" and \"profile\"")
+  | Some "autotune" -> (
+    match Json.str_member "program" j with
+    | Some program ->
+      Ok
+        (Autotune
+           {
+             program;
+             iters = Option.value ~default:80 (Json.int_member "iters" j);
+             vm = Option.value ~default:"risc0" (Json.str_member "vm" j);
+             quick;
+             seed = Option.value ~default:1 (Json.int_member "seed" j);
+           })
+    | None -> Error "autotune job needs \"program\"")
+  | Some "fuzz" -> (
+    match (Json.int_member "seed_lo" j, Json.int_member "seed_hi" j) with
+    | Some seed_lo, Some seed_hi when seed_lo <= seed_hi ->
+      Ok
+        (Fuzz
+           {
+             seed_lo;
+             seed_hi;
+             pipelines =
+               Option.value ~default:[ "baseline" ]
+                 (strs_member "pipelines" j);
+             backends = strs_member "backends" j;
+             limit = Json.int_member "limit" j;
+           })
+    | _ -> Error "fuzz job needs \"seed_lo\" <= \"seed_hi\""
+  )
+  | Some k -> Error (Printf.sprintf "unknown job kind %S" k)
+  | None -> Error "job spec has no \"kind\""

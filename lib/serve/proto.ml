@@ -1,0 +1,161 @@
+(** The service wire protocol: newline-delimited JSON, one value per
+    line, in both directions over a unix-domain stream socket.
+
+    Requests (client → daemon) are objects dispatched on ["op"]:
+    {v
+    {"op":"submit","job":{"kind":"sweep",...},"priority":1,
+     "budget":32,"watch":true}
+    {"op":"cancel","id":"job-3"}
+    {"op":"status"}
+    {"op":"watch","id":"job-3"}
+    {"op":"shutdown"}
+    v}
+
+    Events (daemon → client) are objects dispatched on ["ev"]:
+    {v
+    {"ev":"ack","id":"job-3"}
+    {"ev":"error","msg":"..."}
+    {"ev":"row","id":"job-3","data":"<one checkpoint-codec line>"}
+    {"ev":"done","id":"job-3","summary":{...}}
+    {"ev":"status","status":{...}}
+    v}
+
+    Row payloads are deliberately the {e exact} checkpoint-codec lines
+    ({!Zkopt_harness.Checkpoint.encode_point} for sweep/profile cells,
+    {!Zkopt_fuzz.Campaign.encode_row} for fuzz cases): what a client
+    streams is byte-identical to what the daemon persists and to what
+    the one-shot CLI writes, so equality checks across all three are
+    string comparisons, never lossy re-encodings.
+
+    Neither decoder raises: malformed lines come back as [Error] so a
+    hostile or buggy peer cannot take the daemon down. *)
+
+module Json = Zkopt_report.Json
+
+type request =
+  | Submit of {
+      spec : Job.spec;
+      priority : int;
+      budget : int option;
+      watch : bool;  (** stream this job's rows back on this connection *)
+    }
+  | Cancel of string
+  | Status
+  | Watch of string  (** subscribe to a job's row stream (with replay) *)
+  | Shutdown  (** graceful drain: checkpoint, persist the queue, exit *)
+
+type event =
+  | Ack of { id : string }
+  | Err of { msg : string }
+  | Row of { id : string; data : string }
+  | Done of { id : string; summary : Json.t }
+  | Status_report of Json.t
+
+(* ---- requests -------------------------------------------------------- *)
+
+let encode_request (r : request) : string =
+  Json.to_string
+    (match r with
+    | Submit { spec; priority; budget; watch } ->
+      Json.Obj
+        ([
+           ("op", Json.Str "submit");
+           ("job", Job.spec_to_json spec);
+           ("priority", Json.Int priority);
+         ]
+        @ (match budget with
+          | Some b -> [ ("budget", Json.Int b) ]
+          | None -> [])
+        @ [ ("watch", Json.Bool watch) ])
+    | Cancel id -> Json.Obj [ ("op", Json.Str "cancel"); ("id", Json.Str id) ]
+    | Status -> Json.Obj [ ("op", Json.Str "status") ]
+    | Watch id -> Json.Obj [ ("op", Json.Str "watch"); ("id", Json.Str id) ]
+    | Shutdown -> Json.Obj [ ("op", Json.Str "shutdown") ])
+
+let decode_request (line : string) : (request, string) result =
+  match Json.of_string line with
+  | Error e -> Error ("bad request: " ^ e)
+  | Ok j -> (
+    match Json.str_member "op" j with
+    | Some "submit" -> (
+      match Json.member "job" j with
+      | None -> Error "submit without \"job\""
+      | Some spec_j -> (
+        match Job.spec_of_json spec_j with
+        | Error e -> Error e
+        | Ok spec ->
+          Ok
+            (Submit
+               {
+                 spec;
+                 priority =
+                   Option.value ~default:10 (Json.int_member "priority" j);
+                 budget = Json.int_member "budget" j;
+                 watch =
+                   Option.value ~default:true (Json.bool_member "watch" j);
+               })))
+    | Some "cancel" -> (
+      match Json.str_member "id" j with
+      | Some id -> Ok (Cancel id)
+      | None -> Error "cancel without \"id\"")
+    | Some "status" -> Ok Status
+    | Some "watch" -> (
+      match Json.str_member "id" j with
+      | Some id -> Ok (Watch id)
+      | None -> Error "watch without \"id\"")
+    | Some "shutdown" -> Ok Shutdown
+    | Some op -> Error (Printf.sprintf "unknown op %S" op)
+    | None -> Error "request has no \"op\"")
+
+(* ---- events ---------------------------------------------------------- *)
+
+let encode_event (e : event) : string =
+  Json.to_string
+    (match e with
+    | Ack { id } -> Json.Obj [ ("ev", Json.Str "ack"); ("id", Json.Str id) ]
+    | Err { msg } ->
+      Json.Obj [ ("ev", Json.Str "error"); ("msg", Json.Str msg) ]
+    | Row { id; data } ->
+      Json.Obj
+        [ ("ev", Json.Str "row"); ("id", Json.Str id); ("data", Json.Str data) ]
+    | Done { id; summary } ->
+      Json.Obj
+        [ ("ev", Json.Str "done"); ("id", Json.Str id); ("summary", summary) ]
+    | Status_report s ->
+      Json.Obj [ ("ev", Json.Str "status"); ("status", s) ])
+
+let decode_event (line : string) : (event, string) result =
+  match Json.of_string line with
+  | Error e -> Error ("bad event: " ^ e)
+  | Ok j -> (
+    let id () =
+      match Json.str_member "id" j with
+      | Some id -> Ok id
+      | None -> Error "event without \"id\""
+    in
+    match Json.str_member "ev" j with
+    | Some "ack" -> Result.map (fun id -> Ack { id }) (id ())
+    | Some "error" -> (
+      match Json.str_member "msg" j with
+      | Some msg -> Ok (Err { msg })
+      | None -> Error "error event without \"msg\"")
+    | Some "row" -> (
+      match (id (), Json.str_member "data" j) with
+      | Ok id, Some data -> Ok (Row { id; data })
+      | Error e, _ -> Error e
+      | _, None -> Error "row event without \"data\"")
+    | Some "done" ->
+      Result.map
+        (fun id ->
+          Done
+            {
+              id;
+              summary = Option.value ~default:Json.Null (Json.member "summary" j);
+            })
+        (id ())
+    | Some "status" -> (
+      match Json.member "status" j with
+      | Some s -> Ok (Status_report s)
+      | None -> Error "status event without \"status\"")
+    | Some ev -> Error (Printf.sprintf "unknown event %S" ev)
+    | None -> Error "event has no \"ev\"")

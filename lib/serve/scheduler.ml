@@ -1,0 +1,714 @@
+(** The service scheduler: one warm set of domains and one warm compile
+    cache, multiplexed across every client's jobs.
+
+    The scheduler owns the expensive state a one-shot CLI run rebuilds
+    from scratch every time — the {!Zkopt_exec.Pool} of worker domains
+    and the content-addressed {!Zkopt_exec.Cache} (in-memory
+    [Fingerprint]→artifact LRU over the shared [_zkcache/] disk store) —
+    and executes jobs pulled from a {!Jobq} priority queue on a single
+    dispatcher thread.  Jobs run one at a time; {e cells} within a job
+    run in parallel on the pool.  Each job's per-cell rows stream to
+    its subscribers as they complete and to a per-job checkpoint file,
+    so results survive the daemon and clients can attach late.
+
+    {b Restart contract.}  Submissions append one line to an
+    append-only registry ([jobs.reg], flushed per line, terminal-"."
+    framed like the campaign checkpoint); terminal states append a
+    second line.  A job interrupted by a drain or a kill has no
+    terminal line, so the next daemon over the same state directory
+    re-enqueues it and the job's harness/campaign checkpoint resumes it
+    cell-exactly — the resumed rows are byte-identical to an
+    uninterrupted run's, the same kill-safety contract the one-shot
+    sweep has.
+
+    {b Failure budgets.}  A submission may declare a per-client failure
+    budget.  Quarantined cells (sweeps) and divergences (fuzz) spend
+    from one ledger per client tag; once a client's ledger is
+    exhausted, its queued and future jobs fail fast instead of burning
+    pool time — the harness quarantine generalized across jobs. *)
+
+module H = Zkopt_harness.Harness
+module Checkpoint = Zkopt_harness.Checkpoint
+module Cell = Zkopt_harness.Cell
+module Campaign = Zkopt_fuzz.Campaign
+module Case = Zkopt_fuzz.Case
+module Pool = Zkopt_exec.Pool
+module Cache = Zkopt_exec.Cache
+module Fingerprint = Zkopt_exec.Fingerprint
+module Backend = Zkopt_backend.Backend
+module Registry = Zkopt_backend.Registry
+module Workload = Zkopt_workloads.Workload
+module Autotune = Zkopt_autotune.Autotune
+module Json = Zkopt_report.Json
+open Zkopt_core
+
+type jobrec = {
+  job : Job.t;
+  mutable state : Job.state;
+  cancel : bool Atomic.t;
+  mutable rows : string list;  (** reversed row log, for watch replay *)
+  mutable nrows : int;
+  mutable sinks : (string * (Proto.event -> bool)) list;
+      (** (session tag, send); a sink returning [false] is dropped *)
+}
+
+type t = {
+  dir : string;
+  pool : Pool.t;
+  pool_jobs : int;
+  cache : Backend.compiled Cache.t;
+  q : jobrec Jobq.t;
+  jobs : (string, jobrec) Hashtbl.t;
+  mutable order : string list;  (** job ids, newest first *)
+  mu : Mutex.t;
+  reg : out_channel;  (** append-only job registry, flushed per line *)
+  spent : (string, int) Hashtbl.t;  (** failure-budget ledger per client *)
+  mutable next_id : int;
+  mutable draining : bool;
+  log : string -> unit;
+  mutable dispatcher : Thread.t option;
+}
+
+let ckpt_path t (jr : jobrec) =
+  Filename.concat t.dir (jr.job.Job.id ^ ".ckpt")
+
+(* ---- registry codec -------------------------------------------------- *)
+
+(* `J <id> <client> <priority> <budget|-> <json spec> .` on submission,
+   `D <id> <state> .` on a terminal state.  JSON escapes tabs, so the
+   spec field never collides with the framing; the terminal "." makes a
+   kill-truncated line undecodable rather than silently short. *)
+
+let reg_name = "jobs.reg"
+
+let encode_submit (j : Job.t) : string =
+  String.concat "\t"
+    [
+      "J";
+      j.Job.id;
+      j.Job.client;
+      string_of_int j.Job.priority;
+      (match j.Job.budget with Some b -> string_of_int b | None -> "-");
+      Json.to_string (Job.spec_to_json j.Job.spec);
+      ".";
+    ]
+
+let encode_terminal (id : string) (st : Job.state) : string =
+  let tag =
+    match st with
+    | Job.Finished -> "done"
+    | Job.Cancelled -> "cancelled"
+    | Job.Failed msg ->
+      "failed:" ^ String.map (function '\t' | '\n' -> ' ' | c -> c) msg
+    | Job.Queued | Job.Running -> invalid_arg "encode_terminal: not terminal"
+  in
+  String.concat "\t" [ "D"; id; tag; "." ]
+
+type reg_line =
+  | Submitted of Job.t
+  | Terminal of string * Job.state
+
+let decode_line (line : string) : reg_line option =
+  match String.split_on_char '\t' line with
+  | [ "J"; id; client; prio; budget; spec; "." ] -> (
+    match
+      ( int_of_string_opt prio,
+        Json.of_string spec |> Result.map Job.spec_of_json )
+    with
+    | Some priority, Ok (Ok spec) ->
+      Some
+        (Submitted
+           {
+             Job.id;
+             client;
+             priority;
+             budget = int_of_string_opt budget;
+             spec;
+           })
+    | _ -> None)
+  | [ "D"; id; tag; "." ] ->
+    let st =
+      match tag with
+      | "done" -> Some Job.Finished
+      | "cancelled" -> Some Job.Cancelled
+      | _ ->
+        if String.length tag >= 7 && String.sub tag 0 7 = "failed:" then
+          Some (Job.Failed (String.sub tag 7 (String.length tag - 7)))
+        else None
+    in
+    Option.map (fun st -> Terminal (id, st)) st
+  | _ -> None
+
+let load_registry (path : string) : reg_line list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let lines = ref [] in
+    (try
+       while true do
+         match decode_line (input_line ic) with
+         | Some l -> lines := l :: !lines
+         | None -> () (* kill-truncated or foreign line *)
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !lines
+  end
+
+let append_reg t (line : string) =
+  output_string t.reg line;
+  output_char t.reg '\n';
+  flush t.reg
+
+(* ---- construction / restart ------------------------------------------ *)
+
+let mkdir_p path =
+  let rec go p =
+    if not (Sys.file_exists p) then begin
+      go (Filename.dirname p);
+      try Sys.mkdir p 0o755 with Sys_error _ -> ()
+    end
+  in
+  go path
+
+let id_num (id : string) : int =
+  match String.split_on_char '-' id with
+  | [ "job"; n ] -> Option.value ~default:0 (int_of_string_opt n)
+  | _ -> 0
+
+(** Create a scheduler over [dir], reloading the job registry: jobs
+    with no terminal line (queued or mid-run when the last daemon died)
+    are re-enqueued in their original (priority, submission) order and
+    resume from their checkpoints. *)
+let create ~dir ~jobs ?(cache_dir = Some "_zkcache") ?(cache_capacity = 512)
+    ~log () : t =
+  mkdir_p dir;
+  let lines = load_registry (Filename.concat dir reg_name) in
+  let reg =
+    open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644
+      (Filename.concat dir reg_name)
+  in
+  let t =
+    {
+      dir;
+      pool = Pool.create ~jobs;
+      pool_jobs = jobs;
+      cache = Cache.create ~capacity:cache_capacity ?dir:cache_dir ();
+      q = Jobq.create ();
+      jobs = Hashtbl.create 32;
+      order = [];
+      mu = Mutex.create ();
+      reg;
+      spent = Hashtbl.create 8;
+      next_id = 1;
+      draining = false;
+      log;
+      dispatcher = None;
+    }
+  in
+  List.iter
+    (fun line ->
+      match line with
+      | Submitted j ->
+        let jr =
+          {
+            job = j;
+            state = Job.Queued;
+            cancel = Atomic.make false;
+            rows = [];
+            nrows = 0;
+            sinks = [];
+          }
+        in
+        Hashtbl.replace t.jobs j.Job.id jr;
+        t.order <- j.Job.id :: t.order;
+        t.next_id <- max t.next_id (id_num j.Job.id + 1)
+      | Terminal (id, st) -> (
+        match Hashtbl.find_opt t.jobs id with
+        | Some jr -> jr.state <- st
+        | None -> ()))
+    lines;
+  (* re-enqueue the survivors, oldest first within a priority *)
+  List.iter
+    (fun id ->
+      let jr = Hashtbl.find t.jobs id in
+      if jr.state = Job.Queued then begin
+        Jobq.push t.q ~priority:jr.job.Job.priority jr;
+        t.log
+          (Printf.sprintf "serve: re-enqueued %s (%s) from registry" id
+             (Job.kind_name jr.job.Job.spec))
+      end)
+    (List.rev t.order);
+  t
+
+(* ---- event fan-out --------------------------------------------------- *)
+
+(* Send [ev] to every sink of [jr], dropping sinks whose client went
+   away.  Called with [t.mu] held so replay and live rows interleave
+   consistently per subscriber. *)
+let emit_locked (jr : jobrec) (ev : Proto.event) =
+  jr.sinks <- List.filter (fun (_, sink) -> sink ev) jr.sinks
+
+let push_row t (jr : jobrec) (data : string) =
+  Mutex.lock t.mu;
+  jr.rows <- data :: jr.rows;
+  jr.nrows <- jr.nrows + 1;
+  emit_locked jr (Proto.Row { id = jr.job.Job.id; data });
+  Mutex.unlock t.mu
+
+(* ---- job execution --------------------------------------------------- *)
+
+let profile_of_name (name : string) : Profile.t =
+  match name with
+  | "baseline" -> Profile.Baseline
+  | "zk-o3" | "zkvm-o3" | "-O3(zkvm)" -> Profile.Zkvm_o3
+  | "O0" | "-O0" -> Profile.Level Zkopt_passes.Catalog.O0
+  | "O1" | "-O1" -> Profile.Level Zkopt_passes.Catalog.O1
+  | "O2" | "-O2" -> Profile.Level Zkopt_passes.Catalog.O2
+  | "O3" | "-O3" -> Profile.Level Zkopt_passes.Catalog.O3
+  | "Os" | "-Os" -> Profile.Level Zkopt_passes.Catalog.Os
+  | "Oz" | "-Oz" -> Profile.Level Zkopt_passes.Catalog.Oz
+  | p ->
+    ignore (Zkopt_passes.Pass.find p) (* errors early on unknown names *);
+    Profile.Single_pass p
+
+let size_of_quick quick = if quick then Workload.Quick else Workload.Full
+
+(* Remaining failure budget for this job, given what its client already
+   spent, or [None] when the job declared none. *)
+let remaining_budget t (jr : jobrec) : int option =
+  match jr.job.Job.budget with
+  | None -> None
+  | Some b ->
+    let used =
+      Option.value ~default:0 (Hashtbl.find_opt t.spent jr.job.Job.client)
+    in
+    Some (b - used)
+
+let spend t (jr : jobrec) (n : int) =
+  if n > 0 then begin
+    Mutex.lock t.mu;
+    let used =
+      Option.value ~default:0 (Hashtbl.find_opt t.spent jr.job.Job.client)
+    in
+    Hashtbl.replace t.spent jr.job.Job.client (used + n);
+    Mutex.unlock t.mu
+  end
+
+type exec_result =
+  | Completed of Json.t
+  | Drained  (** interrupted by drain: no terminal record, resumes later *)
+  | Was_cancelled
+  | Crashed of string
+
+(* The stop predicate every job polls at cell granularity. *)
+let stop_for t (jr : jobrec) () = Atomic.get jr.cancel || t.draining
+
+let interrupted t (jr : jobrec) : exec_result =
+  if Atomic.get jr.cancel then Was_cancelled else if t.draining then Drained
+  else Crashed "job stopped for no recorded reason"
+
+let cache_stats_json (s : Cache.stats) ~resident : Json.t =
+  Json.Obj
+    [
+      ("hits", Json.Int s.Cache.hits);
+      ("disk_hits", Json.Int s.Cache.disk_hits);
+      ("misses", Json.Int s.Cache.misses);
+      ("evictions", Json.Int s.Cache.evictions);
+      ("resident", Json.Int resident);
+      ("hit_rate_pct", Json.Float (Cache.hit_rate_pct s));
+    ]
+
+let exec_sweep t jr ~programs ~profiles ~quick ~backends ~limit : exec_result =
+  let profiles = Option.map (List.map profile_of_name) profiles in
+  let backends = Option.map (List.map Registry.find) backends in
+  let stats0 = Cache.stats t.cache in
+  let cfg =
+    {
+      (H.default ~size:(size_of_quick quick)) with
+      H.programs;
+      profiles;
+      backends;
+      limit;
+      checkpoint = Some (ckpt_path t jr);
+      resume = true;
+      failure_budget =
+        (match remaining_budget t jr with
+        | Some b -> b
+        | None -> (H.default ~size:Workload.Quick).H.failure_budget);
+      jobs = t.pool_jobs;
+      cache = Some t.cache;
+      pool = Some t.pool;
+      on_point = Some (fun p -> push_row t jr (Checkpoint.encode_point p));
+      stop = stop_for t jr;
+    }
+  in
+  match H.run cfg with
+  | o ->
+    spend t jr (List.length o.H.quarantined);
+    if (not o.H.completed) && stop_for t jr () then interrupted t jr
+    else
+      Completed
+        (Json.Obj
+           [
+             ("points", Json.Int (Hashtbl.length o.H.points));
+             ("resumed", Json.Int o.H.resumed);
+             ("executed", Json.Int o.H.executed);
+             ("quarantined", Json.Int (List.length o.H.quarantined));
+             ("retries", Json.Int o.H.retries);
+             ("completed", Json.Bool o.H.completed);
+             ( "cache",
+               cache_stats_json
+                 (Cache.sub_stats (Cache.stats t.cache) stats0)
+                 ~resident:(Cache.resident t.cache) );
+           ])
+  | exception H.Budget_exceeded errs ->
+    spend t jr (List.length errs);
+    Crashed
+      (Printf.sprintf "failure budget exceeded after %d quarantined cells"
+         (List.length errs))
+  | exception e -> Crashed (Printexc.to_string e)
+
+let exec_profile t jr ~program ~profile ~vm ~quick : exec_result =
+  match
+    let w = Workload.find program in
+    let b = Registry.find vm in
+    let build () = w.Workload.build (size_of_quick quick) in
+    let profile_t = profile_of_name profile in
+    let m = Measure.prepare_ir ~build profile_t in
+    let digest = Fingerprint.of_modul m ^ "+" ^ b.Backend.schema in
+    let codec =
+      {
+        Cache.enc = (fun (c : Backend.compiled) -> c.Backend.encode ());
+        dec = (fun s -> b.Backend.decode m s);
+      }
+    in
+    let c =
+      Cache.get_or_compile t.cache ~digest ~codec ~compile:(fun () ->
+          b.Backend.compile m)
+    in
+    let r = c.Backend.measure ~vm:b.Backend.name () in
+    (match r.Backend.accounting with
+    | Ok () -> ()
+    | Error msg -> failwith ("accounting: " ^ msg));
+    let point =
+      {
+        Cell.program = w.Workload.name;
+        suite = w.Workload.suite;
+        profile = Profile.name profile_t;
+        zk = [ r.Backend.zk ];
+        cpu = None;
+      }
+    in
+    push_row t jr (Checkpoint.encode_point point);
+    Json.Obj
+      [
+        ("program", Json.Str program);
+        ("profile", Json.Str (Profile.name profile_t));
+        ("vm", Json.Str vm);
+        ("cycles", Json.Int r.Backend.zk.Measure.cycles);
+        ("segments", Json.Int r.Backend.zk.Measure.segments);
+      ]
+  with
+  | summary -> Completed summary
+  | exception e ->
+    spend t jr 1;
+    Crashed (Printexc.to_string e)
+
+let exec_autotune t jr ~program ~iters ~vm ~quick ~seed : exec_result =
+  match
+    let w = Workload.find program in
+    let b = Registry.find vm in
+    let build () = w.Workload.build (size_of_quick quick) in
+    let ga =
+      Autotune.run ~seed ~iterations:iters
+        ~cycles:(Autotune.backend_cycles ~build b)
+        ()
+    in
+    (* stream the search trajectory: one row per strict improvement *)
+    let _ =
+      List.fold_left
+        (fun (gen, best) fitness ->
+          if fitness < best then
+            push_row t jr
+              (Printf.sprintf "gen\t%d\t%d" gen fitness);
+          (gen + 1, min best fitness))
+        (0, max_int) ga.Autotune.history
+    in
+    let best = ga.Autotune.best in
+    Json.Obj
+      [
+        ("program", Json.Str program);
+        ("vm", Json.Str vm);
+        ("evaluations", Json.Int ga.Autotune.evaluations);
+        ("best_cycles", Json.Int best.Autotune.fitness);
+        ( "best_genome",
+          Json.Arr (List.map (fun p -> Json.Str p) best.Autotune.genome) );
+      ]
+  with
+  | summary -> Completed summary
+  | exception e ->
+    spend t jr 1;
+    Crashed (Printexc.to_string e)
+
+let exec_fuzz t jr ~seed_lo ~seed_hi ~pipelines ~backends ~limit : exec_result
+    =
+  match
+    let backends =
+      match backends with
+      | None -> Registry.all ()
+      | Some ns -> List.map Case.resolve_backend ns
+    in
+    let pipelines =
+      List.map
+        (fun spec ->
+          match Case.pipeline_of_spec spec with
+          | Ok p -> p
+          | Error e -> failwith e)
+        pipelines
+    in
+    {
+      (Campaign.default ~backends) with
+      Campaign.sources =
+        List.init (seed_hi - seed_lo + 1) (fun i -> Case.seed (seed_lo + i));
+      pipelines;
+      jobs = t.pool_jobs;
+      checkpoint = Some (ckpt_path t jr);
+      resume = true;
+      failure_budget = remaining_budget t jr;
+      limit;
+      pool = Some t.pool;
+      on_row =
+        Some (fun r -> push_row t jr (Campaign.encode_row r));
+      stop = stop_for t jr;
+    }
+  with
+  | cfg -> (
+    match Campaign.run cfg with
+    | s ->
+      spend t jr (List.length s.Campaign.findings);
+      if stop_for t jr () && s.Campaign.ran < s.Campaign.planned then
+        interrupted t jr
+      else
+        Completed
+          (Json.Obj
+             [
+               ("planned", Json.Int s.Campaign.planned);
+               ("resumed", Json.Int s.Campaign.resumed);
+               ("ran", Json.Int s.Campaign.ran);
+               ("agreed", Json.Int s.Campaign.agreed);
+               ("diverged", Json.Int (List.length s.Campaign.findings));
+               ("budget_hit", Json.Bool s.Campaign.budget_hit);
+             ])
+    | exception e -> Crashed (Printexc.to_string e))
+  | exception e -> Crashed (Printexc.to_string e)
+
+let exec_job t (jr : jobrec) : exec_result =
+  match remaining_budget t jr with
+  | Some b when b <= 0 ->
+    Crashed
+      (Printf.sprintf "client %S failure budget exhausted" jr.job.Job.client)
+  | _ -> (
+    match jr.job.Job.spec with
+    | Job.Sweep { programs; profiles; quick; backends; limit } ->
+      exec_sweep t jr ~programs ~profiles ~quick ~backends ~limit
+    | Job.Profile_cell { program; profile; vm; quick } ->
+      exec_profile t jr ~program ~profile ~vm ~quick
+    | Job.Autotune { program; iters; vm; quick; seed } ->
+      exec_autotune t jr ~program ~iters ~vm ~quick ~seed
+    | Job.Fuzz { seed_lo; seed_hi; pipelines; backends; limit } ->
+      exec_fuzz t jr ~seed_lo ~seed_hi ~pipelines ~backends ~limit)
+
+(* ---- dispatcher ------------------------------------------------------ *)
+
+(* Record a terminal state (registry line + event fan-out). *)
+let finish_job t (jr : jobrec) (st : Job.state) (summary : Json.t) =
+  Mutex.lock t.mu;
+  jr.state <- st;
+  append_reg t (encode_terminal jr.job.Job.id st);
+  let ev =
+    match st with
+    | Job.Failed msg -> Proto.Err { msg = jr.job.Job.id ^ ": " ^ msg }
+    | _ -> Proto.Done { id = jr.job.Job.id; summary }
+  in
+  emit_locked jr ev;
+  jr.sinks <- [];
+  Mutex.unlock t.mu;
+  t.log
+    (Printf.sprintf "serve: %s %s (%d rows)" jr.job.Job.id
+       (Job.state_name st) jr.nrows)
+
+let state_json (st : Job.state) : Json.t =
+  match st with
+  | Job.Failed msg ->
+    Json.Obj [ ("state", Json.Str "failed"); ("error", Json.Str msg) ]
+  | st -> Json.Obj [ ("state", Json.Str (Job.state_name st)) ]
+
+let rec dispatch_loop t =
+  match Jobq.pop t.q with
+  | None -> () (* queue closed: drained *)
+  | Some jr ->
+    if t.draining then () (* popped entry stays registered; resumes later *)
+    else if Atomic.get jr.cancel then begin
+      finish_job t jr Job.Cancelled (state_json Job.Cancelled);
+      dispatch_loop t
+    end
+    else begin
+      Mutex.lock t.mu;
+      jr.state <- Job.Running;
+      Mutex.unlock t.mu;
+      t.log
+        (Printf.sprintf "serve: running %s (%s, client %s)" jr.job.Job.id
+           (Job.kind_name jr.job.Job.spec)
+           jr.job.Job.client);
+      (match exec_job t jr with
+      | Completed summary -> finish_job t jr Job.Finished summary
+      | Was_cancelled -> finish_job t jr Job.Cancelled (state_json Job.Cancelled)
+      | Crashed msg -> finish_job t jr (Job.Failed msg) (state_json (Job.Failed msg))
+      | Drained ->
+        (* no terminal record: the restart re-enqueues and the job's
+           checkpoint resumes it exactly where this daemon stopped *)
+        Mutex.lock t.mu;
+        jr.state <- Job.Queued;
+        Mutex.unlock t.mu);
+      dispatch_loop t
+    end
+
+let start t =
+  match t.dispatcher with
+  | Some _ -> invalid_arg "Scheduler.start: already started"
+  | None -> t.dispatcher <- Some (Thread.create dispatch_loop t)
+
+(* ---- client-facing operations ---------------------------------------- *)
+
+let submit t ~client ?(priority = 10) ?budget (spec : Job.spec) :
+    (string, string) result =
+  Mutex.lock t.mu;
+  if t.draining then begin
+    Mutex.unlock t.mu;
+    Error "daemon is draining"
+  end
+  else begin
+    let id = Printf.sprintf "job-%d" t.next_id in
+    t.next_id <- t.next_id + 1;
+    let job = { Job.id; client; priority; budget; spec } in
+    let jr =
+      {
+        job;
+        state = Job.Queued;
+        cancel = Atomic.make false;
+        rows = [];
+        nrows = 0;
+        sinks = [];
+      }
+    in
+    Hashtbl.replace t.jobs id jr;
+    t.order <- id :: t.order;
+    append_reg t (encode_submit job);
+    Mutex.unlock t.mu;
+    Jobq.push t.q ~priority jr;
+    Ok id
+  end
+
+(** Cancel a job: queued jobs are discarded when the dispatcher reaches
+    them, the running job stops at its next cell boundary.  Cancelling
+    an already-terminal job is a no-op returning [false]. *)
+let cancel t (id : string) : bool =
+  Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.jobs id with
+    | Some jr when jr.state = Job.Queued || jr.state = Job.Running ->
+      Atomic.set jr.cancel true;
+      true
+    | _ -> false
+  in
+  Mutex.unlock t.mu;
+  r
+
+(** Subscribe [sink] (tagged [sid]) to a job's stream: already-produced
+    rows replay first, then live rows, then the terminal event — all in
+    a consistent order.  A terminal job replays rows and its terminal
+    event immediately. *)
+let watch t ~sid (id : string) (sink : Proto.event -> bool) :
+    (unit, string) result =
+  Mutex.lock t.mu;
+  let r =
+    match Hashtbl.find_opt t.jobs id with
+    | None -> Error (Printf.sprintf "no such job %S" id)
+    | Some jr ->
+      let replay_ok =
+        List.for_all
+          (fun data -> sink (Proto.Row { id; data }))
+          (List.rev jr.rows)
+      in
+      (match jr.state with
+      | Job.Queued | Job.Running ->
+        if replay_ok then jr.sinks <- (sid, sink) :: jr.sinks
+      | Job.Finished | Job.Cancelled ->
+        ignore (sink (Proto.Done { id; summary = state_json jr.state }))
+      | Job.Failed msg -> ignore (sink (Proto.Err { msg = id ^ ": " ^ msg })));
+      Ok ()
+  in
+  Mutex.unlock t.mu;
+  r
+
+(** Drop every sink tagged [sid] and cancel the listed jobs — the
+    disconnect path: a client that went away takes its watched jobs
+    with it, cleanly. *)
+let detach t ~sid ~(cancel_jobs : string list) =
+  Mutex.lock t.mu;
+  Hashtbl.iter
+    (fun _ jr ->
+      jr.sinks <- List.filter (fun (s, _) -> not (String.equal s sid)) jr.sinks)
+    t.jobs;
+  Mutex.unlock t.mu;
+  List.iter (fun id -> ignore (cancel t id)) cancel_jobs
+
+let job_json (jr : jobrec) : Json.t =
+  Json.Obj
+    [
+      ("id", Json.Str jr.job.Job.id);
+      ("kind", Json.Str (Job.kind_name jr.job.Job.spec));
+      ("client", Json.Str jr.job.Job.client);
+      ("priority", Json.Int jr.job.Job.priority);
+      ("state", Json.Str (Job.state_name jr.state));
+      ("rows", Json.Int jr.nrows);
+    ]
+
+(** The status surface: every known job (submission order) plus the
+    shared-cache counters ({!Zkopt_exec.Cache.stats}: hit/miss/evict and
+    residency) and pool shape — the warm-state telemetry `zkbench
+    status` prints. *)
+let status_json t : Json.t =
+  Mutex.lock t.mu;
+  let jobs =
+    List.rev_map (fun id -> job_json (Hashtbl.find t.jobs id)) t.order
+  in
+  let draining = t.draining in
+  Mutex.unlock t.mu;
+  let s = Cache.stats t.cache in
+  Json.Obj
+    [
+      ("jobs", Json.Arr jobs);
+      ("queued", Json.Int (Jobq.length t.q));
+      ("pool_jobs", Json.Int t.pool_jobs);
+      ("draining", Json.Bool draining);
+      ("cache", cache_stats_json s ~resident:(Cache.resident t.cache));
+    ]
+
+(** Graceful drain: refuse new submissions, stop the running job at its
+    next cell boundary (checkpointed, no terminal record), join the
+    dispatcher, and release the pool.  Everything unfinished resumes on
+    the next daemon over this state directory. *)
+let drain t =
+  Mutex.lock t.mu;
+  t.draining <- true;
+  Mutex.unlock t.mu;
+  Jobq.close t.q;
+  (match t.dispatcher with Some th -> Thread.join th | None -> ());
+  t.dispatcher <- None;
+  Pool.shutdown t.pool;
+  Mutex.lock t.mu;
+  (try flush t.reg with Sys_error _ -> ());
+  (try close_out_noerr t.reg with Sys_error _ -> ());
+  Mutex.unlock t.mu

@@ -1,0 +1,89 @@
+(** One client connection to the daemon: a line-framed, mutex-guarded
+    wrapper over the accepted socket.
+
+    Sends go through raw [Unix.write] (not a buffered channel) so a
+    peer that vanished surfaces immediately as [EPIPE] / [ECONNRESET]
+    instead of lingering in a buffer; either error just marks the
+    session dead — the daemon treats a dead session as that client
+    hanging up, never as a reason to crash (SIGPIPE itself is ignored
+    process-wide by {!Daemon}).  The send mutex keeps row events from
+    the scheduler's dispatcher and replies from the session's own
+    reader thread from interleaving mid-line. *)
+
+type t = {
+  fd : Unix.file_descr;
+  sid : string;  (** unique session tag; the sink + failure-budget key *)
+  ic : in_channel;  (** read side; line-framed requests *)
+  send_mu : Mutex.t;
+  mutable alive : bool;
+  mutable watched : string list;
+      (** job ids submitted on this connection with [watch = true];
+          cancelled if the client disconnects before they finish *)
+}
+
+let counter = Atomic.make 0
+
+let create (fd : Unix.file_descr) : t =
+  {
+    fd;
+    sid = Printf.sprintf "s%d" (Atomic.fetch_and_add counter 1);
+    ic = Unix.in_channel_of_descr fd;
+    send_mu = Mutex.create ();
+    alive = true;
+    watched = [];
+  }
+
+let write_all fd (s : string) =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+(** Send one event line.  Returns [false] — and marks the session dead —
+    once the peer is gone; exactly the shape {!Scheduler.watch} expects
+    of a sink, so a dead client self-removes from every job it watched. *)
+let send (t : t) (ev : Proto.event) : bool =
+  Mutex.lock t.send_mu;
+  let ok =
+    if not t.alive then false
+    else
+      try
+        write_all t.fd (Proto.encode_event ev ^ "\n");
+        true
+      with
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+      | Sys_error _ ->
+        t.alive <- false;
+        false
+  in
+  Mutex.unlock t.send_mu;
+  ok
+
+(** Read the next request line; [None] on EOF or a dropped connection. *)
+let recv_line (t : t) : string option =
+  match input_line t.ic with
+  | line -> Some line
+  | exception (End_of_file | Sys_error _) -> None
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EBADF), _, _) -> None
+
+(** Wake this session's blocked reader and stop further sends, from any
+    thread.  [Unix.shutdown] (not [close]) is load-bearing: the reader
+    thread is blocked inside [input_line] {e holding the channel lock},
+    so closing the channel from another thread would deadlock, and
+    closing the raw fd would not interrupt the read — shutdown makes
+    the pending read return EOF, after which the reader unwinds and
+    closes its own channel. *)
+let interrupt (t : t) =
+  Mutex.lock t.send_mu;
+  t.alive <- false;
+  Mutex.unlock t.send_mu;
+  try Unix.shutdown t.fd Unix.SHUTDOWN_ALL
+  with Unix.Unix_error _ -> ()
+
+(** Release the session; only the session's own reader thread may call
+    this (see {!interrupt}).  Closing the in_channel closes the fd. *)
+let close (t : t) =
+  interrupt t;
+  try close_in_noerr t.ic with _ -> ()

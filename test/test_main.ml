@@ -14,4 +14,5 @@ let () =
       ("prof", Test_prof.tests);
       ("backend", Test_backend.tests);
       ("fuzz", Test_fuzz.tests);
+      ("serve", Test_serve.tests);
     ]
