@@ -188,7 +188,7 @@ let run_cmd =
       List.find_map
         (fun (b : Backend.t) -> (compiled_for m b).Backend.measure_cpu)
         backends
-      |> Option.map (fun f -> f ?fuel:None ?attr:None ())
+      |> Option.map (fun f -> f ?fuel:None ?sink:None ())
     in
     if json then
       print_endline
@@ -1009,6 +1009,47 @@ let bench_cmd =
     in
     let cold = phase "sweep-cold" in
     let warm = phase "sweep-warm" in
+    (* pure-interpreter throughput: decode each slice program once, then
+       time repeated Machine.run passes.  No compile, no cache, no prover
+       model — this row isolates the decoded-stream executor core, so
+       interpreter wins stay visible independent of cache hit rate. *)
+    let emul =
+      let codes =
+        List.map
+          (fun name ->
+            let w = find_workload name in
+            let build () =
+              w.Zkopt_workloads.Workload.build Zkopt_workloads.Workload.Quick
+            in
+            let c = Measure.prepare ~build Profile.Baseline in
+            Zkopt_zkvm.Machine.decode Zkopt_zkvm.Config.risc0
+              c.Measure.codegen c.Measure.modul)
+          slice_programs
+      in
+      let t0 = Unix.gettimeofday () in
+      let retired = ref 0 in
+      let passes = ref 0 in
+      while Unix.gettimeofday () -. t0 < 1.0 do
+        List.iter
+          (fun code ->
+            let r = Zkopt_zkvm.Machine.run code in
+            retired := !retired + r.Zkopt_zkvm.Machine.retired)
+          codes;
+        incr passes
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      let ips = float_of_int !retired /. dt in
+      Printf.printf "%-10s %3d passes in %6.2fs  (%6.2f M instrs/s)\n" "emul"
+        !passes dt (ips /. 1e6);
+      Json.Obj
+        [
+          ("family", Json.Str "emul");
+          ("programs", Json.Int (List.length codes));
+          ("passes", Json.Int !passes);
+          ("retired", Json.Int !retired);
+          ("instrs_per_second", Json.Float ips);
+        ]
+    in
     let date =
       let tm = Unix.localtime (Unix.time ()) in
       Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
@@ -1028,7 +1069,7 @@ let bench_cmd =
                 ( "profiles",
                   Json.Arr (List.map (fun p -> Json.Str p) slice_profiles) );
               ] );
-          ("rows", Json.Arr [ cold; warm ]);
+          ("rows", Json.Arr [ cold; warm; emul ]);
         ]
     in
     let path =

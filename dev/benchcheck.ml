@@ -1,0 +1,196 @@
+(* Throughput regression gate (dune build @smoke):
+
+   re-measures the fixed 16-cell bench slice (the same
+   programs x profiles `zkbench bench` uses), writes a fresh
+   BENCH_<date>.json next to the sandbox cwd, and fails if the
+   warm-cache cells/s fell more than ZKOPT_BENCHCHECK_MAX percent
+   (default 10) below the best committed BENCH_*.json baseline —
+   baseline files are passed as command-line arguments.
+
+   The warm row is the gated one: it is compile-free, so it tracks the
+   executor + harness hot path rather than codegen.  The cold and emul
+   rows ride along in the written file for trend visibility. *)
+
+open Zkopt_core
+module H = Zkopt_harness.Harness
+module Json = Zkopt_report.Json
+module Seedfmt = Zkopt_devutil.Seedfmt
+
+let tool = "benchcheck"
+let slice_programs = [ "factorial"; "loop-sum"; "sha256"; "tailcall" ]
+
+let slice_profiles =
+  [
+    Profile.Baseline;
+    Profile.Level Zkopt_passes.Catalog.O1;
+    Profile.Level Zkopt_passes.Catalog.O2;
+    Profile.Level Zkopt_passes.Catalog.O3;
+  ]
+
+let num_member k j =
+  match Json.member k j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* best committed warm-sweep cells/s across the given baseline files;
+   unparsable files are skipped (a corrupt baseline must not mask a
+   regression in the others) *)
+let best_baseline files =
+  List.fold_left
+    (fun best path ->
+      let contents =
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      match Json.of_string contents with
+      | Error _ -> best
+      | Ok doc -> (
+        match Json.member "rows" doc with
+        | Some (Json.Arr rows) ->
+          List.fold_left
+            (fun best row ->
+              match (Json.str_member "family" row, num_member "cells_per_second" row) with
+              | Some "sweep-warm", Some v -> max best v
+              | _ -> best)
+            best rows
+        | _ -> best))
+    0.0 files
+
+let phase cache name =
+  let t0 = Unix.gettimeofday () in
+  let cfg =
+    {
+      (H.default ~size:Zkopt_workloads.Workload.Quick) with
+      H.programs = Some slice_programs;
+      profiles = Some slice_profiles;
+      jobs = 2;
+      cache = Some cache;
+    }
+  in
+  let o = H.run cfg in
+  let dt = Unix.gettimeofday () -. t0 in
+  let cells = Hashtbl.length o.H.points in
+  let cps = float_of_int cells /. dt in
+  let row =
+    Json.Obj
+      [
+        ("family", Json.Str name);
+        ("cells", Json.Int cells);
+        ("avg_seconds", Json.Float (dt /. float_of_int (max 1 cells)));
+        ("cells_per_second", Json.Float cps);
+      ]
+  in
+  (cells, cps, row)
+
+let emul_row () =
+  let codes =
+    List.map
+      (fun name ->
+        let w = Zkopt_workloads.Workload.find name in
+        let build () =
+          w.Zkopt_workloads.Workload.build Zkopt_workloads.Workload.Quick
+        in
+        let c = Measure.prepare ~build Profile.Baseline in
+        Zkopt_zkvm.Machine.decode Zkopt_zkvm.Config.risc0 c.Measure.codegen
+          c.Measure.modul)
+      slice_programs
+  in
+  let t0 = Unix.gettimeofday () in
+  let retired = ref 0 in
+  while Unix.gettimeofday () -. t0 < 0.5 do
+    List.iter
+      (fun code ->
+        let r = Zkopt_zkvm.Machine.run code in
+        retired := !retired + r.Zkopt_zkvm.Machine.retired)
+      codes
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let ips = float_of_int !retired /. dt in
+  ( ips,
+    Json.Obj
+      [
+        ("family", Json.Str "emul");
+        ("retired", Json.Int !retired);
+        ("instrs_per_second", Json.Float ips);
+      ] )
+
+let () =
+  let baselines = List.tl (Array.to_list Sys.argv) in
+  let max_regress_pct =
+    match Sys.getenv_opt "ZKOPT_BENCHCHECK_MAX" with
+    | Some s -> (try float_of_string s with _ -> 10.0)
+    | None -> 10.0
+  in
+  let best = best_baseline baselines in
+  let cache = Zkopt_exec.Cache.create () in
+  let cells, cold_cps, cold = phase cache "sweep-cold" in
+  let expected =
+    List.length slice_programs * List.length slice_profiles
+  in
+  if cells <> expected then
+    Seedfmt.fail ~tool "slice measured %d of %d cells" cells expected;
+  let _, warm_cps, warm = phase cache "sweep-warm" in
+  let ips, emul = emul_row () in
+  let date =
+    let tm = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+      (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str "zkbench-bench-v1");
+        ("date", Json.Str date);
+        ("jobs", Json.Int 2);
+        ( "slice",
+          Json.Obj
+            [
+              ( "programs",
+                Json.Arr (List.map (fun p -> Json.Str p) slice_programs) );
+              ( "profiles",
+                Json.Arr
+                  (List.map
+                     (fun p -> Json.Str (Profile.name p))
+                     slice_profiles) );
+            ] );
+        ("rows", Json.Arr [ cold; warm; emul ]);
+      ]
+  in
+  (* append to the series, never clobber: a committed same-date baseline
+     must survive so the gate keeps comparing against it *)
+  let path =
+    let base = "BENCH_" ^ date in
+    if not (Sys.file_exists (base ^ ".json")) then base ^ ".json"
+    else begin
+      let n = ref 2 in
+      while Sys.file_exists (Printf.sprintf "%s-%d.json" base !n) do
+        incr n
+      done;
+      Printf.sprintf "%s-%d.json" base !n
+    end
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "benchcheck: cold %.1f / warm %.1f cells/s, emul %.2fM instrs/s -> %s\n"
+    cold_cps warm_cps (ips /. 1e6) path;
+  if best > 0.0 then begin
+    let floor = best *. (1.0 -. (max_regress_pct /. 100.0)) in
+    Printf.printf
+      "benchcheck: best committed warm baseline %.1f cells/s (floor %.1f at \
+       -%.0f%%)\n"
+      best floor max_regress_pct;
+    if warm_cps < floor then
+      Seedfmt.fail ~tool
+        "warm sweep throughput regressed: %.1f cells/s < %.1f (best %.1f \
+         - %.0f%%)"
+        warm_cps floor best max_regress_pct
+  end
+  else Printf.printf "benchcheck: no committed BENCH_*.json baseline found\n";
+  Seedfmt.finish tool

@@ -66,7 +66,7 @@ let () =
   let c = Measure.prepare ~build Profile.Baseline in
   List.iter
     (fun (name, fault) ->
-      let raw = Measure.run_zkvm_raw ?fault Zkopt_zkvm.Config.risc0 c in
+      let raw = Measure.run ?fault Zkopt_zkvm.Config.risc0 c in
       match Zkopt_harness.Cell.check_accounting Zkopt_zkvm.Config.risc0 raw with
       | Ok () -> Printf.printf "  %-24s accounting reconciles\n" name
       | Error msg -> Printf.printf "  %-24s CAUGHT: %s\n" name msg)

@@ -27,13 +27,15 @@
       cross-backend conformance checks are a plain [Int64.equal].
     - [accounting] carries the backend's own conservation check (trace
       totals must reconcile with the per-segment journal), evaluated at
-      measurement time where the raw trace is still in hand. *)
+      measurement time where the raw trace is still in hand.
+    - Every execution path — zkVM pricing and the CPU contrast model —
+      observes through one {!Zkopt_zkvm.Machine.sink}; backends never
+      expose bespoke callback surfaces. *)
 
 open Zkopt_ir
-module Measure = Zkopt_core.Measure
 
 type measurement = {
-  zk : Measure.zk_metrics;
+  zk : Zkopt_core.Measure.zk_metrics;
   accounting : (unit, string) result;
       (** the backend's cost-conservation oracle over this run's trace *)
   faulted : bool;  (** an injected executor fault fired during the run *)
@@ -61,7 +63,7 @@ type compiled = {
     (?fuel:int ->
     ?sink:Zkopt_zkvm.Machine.sink ->
     unit ->
-    Measure.cpu_metrics)
+    Zkopt_core.Measure.cpu_metrics)
     option;
       (** the RQ3 traditional-CPU contrast model, where the backend's
           instruction stream can drive it; [None] otherwise *)

@@ -19,11 +19,11 @@ let schema = "rv32-cg1"
     (e.g. the fuzz engine's dense-shard §4.2 reproduction) that are not
     in {!Config.all}. *)
 let of_compiled ?config (c : Measure.compiled) : Backend.compiled =
-  let measure ~vm ?fault ?fuel ?attr () =
+  let measure ~vm ?fault ?fuel ?sink () =
     let cfg =
       match config with Some cfg -> cfg | None -> Config.by_name vm
     in
-    let raw = Measure.run_zkvm_raw ?fault ?fuel ?attr cfg c in
+    let raw = Measure.run ?fault ?fuel ?sink cfg c in
     {
       Backend.zk = Measure.zk_of_vm raw;
       accounting = Zkopt_zkvm.Vm.check_accounting cfg raw;
@@ -42,7 +42,7 @@ let of_compiled ?config (c : Measure.compiled) : Backend.compiled =
             + s.Zkopt_riscv.Codegen.spill_stores ))
         c.Measure.codegen.Zkopt_riscv.Codegen.stats;
     measure;
-    measure_cpu = Some (fun ?fuel ?attr () -> Measure.run_cpu ?fuel ?attr c);
+    measure_cpu = Some (fun ?fuel ?sink () -> Measure.run_cpu ?fuel ?sink c);
     encode =
       (fun () ->
         Some

@@ -65,12 +65,14 @@ let prepare ?(verify = true) ~(build : unit -> Modul.t) (profile : Profile.t) :
     compiled =
   compile_ir (prepare_ir ~verify ~build profile)
 
-(** Raw measurement: like {!run_zkvm} but returns the full {!Zkopt_zkvm.Vm}
-    result (including the per-segment executor trace), which the harness's
-    accounting oracles need. *)
-let run_zkvm_raw ?fault ?fuel ?attr (cfg : Zkopt_zkvm.Config.t) (c : compiled) :
+(** The one raw zkVM measurement path: every caller — summary metrics
+    ({!run_zkvm}), harness accounting oracles, backends, the profiler —
+    goes through here, differing only in the {!Zkopt_zkvm.Machine.sink}
+    it installs.  Returns the full {!Zkopt_zkvm.Vm} result including the
+    per-segment executor trace. *)
+let run ?fault ?fuel ?sink (cfg : Zkopt_zkvm.Config.t) (c : compiled) :
     Zkopt_zkvm.Vm.metrics =
-  Zkopt_zkvm.Vm.measure ?fault ?fuel ?attr cfg c.codegen c.modul
+  Zkopt_zkvm.Vm.measure ?fault ?fuel ?sink cfg c.codegen c.modul
 
 (** The single int32 -> int64 exit-value normalization point.  Raw RV32
     executors journal a 32-bit word; everything above the backend boundary
@@ -96,10 +98,10 @@ let zk_of_vm (r : Zkopt_zkvm.Vm.metrics) : zk_metrics =
   }
 
 let run_zkvm ?fault ?fuel (cfg : Zkopt_zkvm.Config.t) (c : compiled) : zk_metrics =
-  zk_of_vm (run_zkvm_raw ?fault ?fuel cfg c)
+  zk_of_vm (run ?fault ?fuel cfg c)
 
-let run_cpu ?fuel ?attr (c : compiled) : cpu_metrics =
-  let r = Zkopt_cpu.Timing.run ?fuel ?attr c.codegen c.modul in
+let run_cpu ?fuel ?sink (c : compiled) : cpu_metrics =
+  let r = Zkopt_cpu.Timing.run ?fuel ?sink c.codegen c.modul in
   {
     cpu_cycles = r.Zkopt_cpu.Timing.cycles;
     cpu_time_s = r.Zkopt_cpu.Timing.time_s;

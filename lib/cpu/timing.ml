@@ -71,15 +71,23 @@ let lat_of params (i : Isa.t) =
 
 (** Replay module [m] (compiled as [cg]) through the CPU model.
 
-    [attr] optionally attributes CPU cycles to the pc that spent them:
-    each instruction is charged its issue-clock advance, and the trailing
+    [sink] optionally attributes CPU cycles to the pc that spent them
+    (through {!Zkopt_zkvm.Machine.sink}'s [on_cpu_retire] channel): each
+    instruction is charged its issue-clock advance, and the trailing
     memory-port drain is charged to the last retired pc, so the attributed
     costs sum exactly to the reported [cycles]. *)
 let run ?(params = default_params) ?(fuel = 500_000_000)
-    ?(attr : (pc:int32 -> Isa.t -> cost:float -> unit) option)
+    ?(sink : Zkopt_zkvm.Machine.sink option)
     (cg : Codegen.t) (m : Zkopt_ir.Modul.t) : result =
   let cache = Cache.create () in
   let pred = Predictor.create () in
+  (* per-instruction source/destination register lists, precomputed per
+     code index so the hot loop neither rebuilds an [Asm.item] nor
+     re-derives the lists on every retire (same lists, same order — the
+     float folds below are order-sensitive and checkpoint-pinned) *)
+  let code = cg.Codegen.program.Asm.code in
+  let uses_of = Array.map (fun i -> Regalloc.item_uses (Asm.Ins i)) code in
+  let defs_of = Array.map (fun i -> Regalloc.item_defs (Asm.Ins i)) code in
   (* ready.(r) = cycle at which register r's value is available *)
   let ready = Array.make 32 0.0 in
   let clock = ref 0.0 in        (* last issue cycle *)
@@ -95,10 +103,10 @@ let run ?(params = default_params) ?(fuel = 500_000_000)
   hooks.on_branch <- (fun ~pc ~taken target -> branch_event := Some (pc, taken, target));
   hooks.on_precompile <- (fun name -> precompile_event := Some name);
   let emu = Emulator.create ~hooks cg.Codegen.program m in
-  let time_instr (i : Isa.t) =
+  let time_instr idx (i : Isa.t) =
     let issue_gap = 1.0 /. params.issue_width in
-    let srcs = Regalloc.item_uses (Asm.Ins i) in
-    let dsts = Regalloc.item_defs (Asm.Ins i) in
+    let srcs = uses_of.(idx) in
+    let dsts = defs_of.(idx) in
     let dep_ready =
       List.fold_left (fun acc r -> Float.max acc ready.(r)) 0.0 srcs
     in
@@ -150,25 +158,23 @@ let run ?(params = default_params) ?(fuel = 500_000_000)
     if !budget <= 0 then raise (Emulator.Out_of_fuel fuel);
     decr budget;
     let pc = emu.Emulator.pc in
-    let ins =
-      let idx =
-        Int32.to_int (Int32.sub pc cg.Codegen.program.Asm.base) / 4
-      in
-      cg.Codegen.program.Asm.code.(idx)
+    let idx =
+      Int32.to_int (Int32.sub pc cg.Codegen.program.Asm.base) / 4
     in
+    let ins = code.(idx) in
     Emulator.step emu;
-    (match attr with
-    | Some a ->
+    (match sink with
+    | Some s ->
       let before = !clock in
-      time_instr ins;
-      a ~pc ins ~cost:(!clock -. before);
+      time_instr idx ins;
+      s.Zkopt_zkvm.Machine.on_cpu_retire ~pc ins ~cost:(!clock -. before);
       last := Some (pc, ins)
-    | None -> time_instr ins)
+    | None -> time_instr idx ins)
   done;
   let cycles = Float.max !clock !mem_busy_until in
-  (match (attr, !last) with
-  | Some a, Some (pc, ins) when cycles > !clock ->
-    a ~pc ins ~cost:(cycles -. !clock)
+  (match (sink, !last) with
+  | Some s, Some (pc, ins) when cycles > !clock ->
+    s.Zkopt_zkvm.Machine.on_cpu_retire ~pc ins ~cost:(cycles -. !clock)
   | _ -> ());
   {
     cycles;

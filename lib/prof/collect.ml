@@ -56,34 +56,38 @@ let charge_instr c ~pc (ins : Isa.t) ~cost =
     trace-row/cycle count) into the backend's prover padding residue,
     mirroring that backend's prover — for the RV32 single-table model,
     pow2 padding above the min_po2 floor
-    ({!Zkopt_backend.Backend.t.segment_pad}). *)
-let zk_attr c ~(segment_pad : int -> int) : Zkopt_zkvm.Executor.attr =
-  let open Zkopt_zkvm in
-  {
-    Executor.attr_instr = (fun ~pc ins ~cost -> charge_instr c ~pc ins ~cost);
-    attr_precompile =
-      (fun ~pc ~name:_ ~cost ->
-        (* the ecall itself was already charged by attr_instr; the
-           precompile's cycle bill rides on the same site *)
-        let s = site_at c pc in
-        let k = Profile.counters c.profile s in
-        k.Profile.exec <- k.Profile.exec + cost;
-        Profile.fold_add c.profile (fold_key c s) cost);
-    attr_page_in =
-      (fun ~pc ~cost ->
-        let k = Profile.counters c.profile (site_at c pc) in
-        k.Profile.paging_in <- k.Profile.paging_in + cost);
-    attr_page_out =
-      (fun ~pc ~cost ->
-        let k = Profile.counters c.profile (site_at c pc) in
-        k.Profile.paging_out <- k.Profile.paging_out + cost);
-    attr_segment =
-      (fun ~pc ~user ~paging ->
-        let k = Profile.counters c.profile (site_at c pc) in
-        k.Profile.segment <- k.Profile.segment + segment_pad (user + paging));
-  }
+    ({!Zkopt_backend.Backend.t.segment_pad}).
+
+    Retires may arrive batched ({!Zkopt_zkvm.Machine.retire_batch});
+    they are folded immediately, in retirement order, because
+    {!charge_instr}'s shadow call stack is order-sensitive. *)
+let zk_sink c ~(segment_pad : int -> int) : Zkopt_zkvm.Machine.sink =
+  Zkopt_zkvm.Machine.sink
+    ~on_retires:
+      (Zkopt_zkvm.Machine.iter_retires (fun ~pc ins ~cost ->
+           charge_instr c ~pc ins ~cost))
+    ~on_precompile:(fun ~pc ~name:_ ~cost ->
+      (* the ecall itself was already charged as a retire; the
+         precompile's cycle bill rides on the same site *)
+      let s = site_at c pc in
+      let k = Profile.counters c.profile s in
+      k.Profile.exec <- k.Profile.exec + cost;
+      Profile.fold_add c.profile (fold_key c s) cost)
+    ~on_page_in:(fun ~pc ~cost ->
+      let k = Profile.counters c.profile (site_at c pc) in
+      k.Profile.paging_in <- k.Profile.paging_in + cost)
+    ~on_page_out:(fun ~pc ~cost ->
+      let k = Profile.counters c.profile (site_at c pc) in
+      k.Profile.paging_out <- k.Profile.paging_out + cost)
+    ~on_segment:(fun ~pc ~user ~paging ->
+      let k = Profile.counters c.profile (site_at c pc) in
+      k.Profile.segment <- k.Profile.segment + segment_pad (user + paging))
+    ()
 
 (** The CPU-model sink (float cycles, no paging/segment dimensions). *)
-let cpu_attr c ~pc (_ins : Isa.t) ~cost =
-  let k = Profile.counters c.profile (site_at c pc) in
-  k.Profile.cpu <- k.Profile.cpu +. cost
+let cpu_sink c : Zkopt_zkvm.Machine.sink =
+  Zkopt_zkvm.Machine.sink
+    ~on_cpu_retire:(fun ~pc (_ins : Isa.t) ~cost ->
+      let k = Profile.counters c.profile (site_at c pc) in
+      k.Profile.cpu <- k.Profile.cpu +. cost)
+    ()

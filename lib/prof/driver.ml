@@ -22,8 +22,8 @@ let profile_zkvm ?fuel ~label (cfg : Zkopt_zkvm.Config.t)
     (c : Measure.compiled) : Zkopt_zkvm.Vm.metrics * Profile.t =
   let p = Profile.create ~vm:cfg.Zkopt_zkvm.Config.name ~label in
   let col = collector c p in
-  let attr = Collect.zk_attr col ~segment_pad:(rv32_segment_pad cfg) in
-  let r = Measure.run_zkvm_raw ?fuel ~attr cfg c in
+  let sink = Collect.zk_sink col ~segment_pad:(rv32_segment_pad cfg) in
+  let r = Measure.run ?fuel ~sink cfg c in
   (r, p)
 
 (** Profile one CPU-model run (fills only the [cpu] dimension). *)
@@ -31,7 +31,7 @@ let profile_cpu ?fuel ~label (c : Measure.compiled) :
     Measure.cpu_metrics * Profile.t =
   let p = Profile.create ~vm:"cpu" ~label in
   let col = collector c p in
-  let r = Measure.run_cpu ?fuel ~attr:(Collect.cpu_attr col) c in
+  let r = Measure.run_cpu ?fuel ~sink:(Collect.cpu_sink col) c in
   (r, p)
 
 (** Profile a zkVM run and fold the CPU dimension into the same profile,
@@ -40,7 +40,7 @@ let profile_all ?fuel ~label (cfg : Zkopt_zkvm.Config.t)
     (c : Measure.compiled) : Zkopt_zkvm.Vm.metrics * Profile.t =
   let r, p = profile_zkvm ?fuel ~label cfg c in
   let col = collector c p in
-  ignore (Measure.run_cpu ?fuel ~attr:(Collect.cpu_attr col) c);
+  ignore (Measure.run_cpu ?fuel ~sink:(Collect.cpu_sink col) c);
   (r, p)
 
 (** Profile one run of an arbitrary registered backend: the collector
@@ -53,11 +53,11 @@ let profile_backend ?fuel ~label (b : Backend.t) (c : Backend.compiled) :
     Backend.measurement * Profile.t =
   let p = Profile.create ~vm:b.Backend.name ~label in
   let col = Collect.create ~site_of_pc:c.Backend.site_of_pc p in
-  let attr = Collect.zk_attr col ~segment_pad:b.Backend.segment_pad in
-  let r = c.Backend.measure ~vm:b.Backend.name ?fuel ~attr () in
+  let sink = Collect.zk_sink col ~segment_pad:b.Backend.segment_pad in
+  let r = c.Backend.measure ~vm:b.Backend.name ?fuel ~sink () in
   (match c.Backend.measure_cpu with
   | Some run ->
     let col = Collect.create ~site_of_pc:c.Backend.site_of_pc p in
-    ignore (run ?fuel ~attr:(Collect.cpu_attr col) ())
+    ignore (run ?fuel ~sink:(Collect.cpu_sink col) ())
   | None -> ());
   (r, p)

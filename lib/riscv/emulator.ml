@@ -48,18 +48,26 @@ type t = {
 let syscall_halt = 0
 let syscall_precompile_base = 1000
 
+(* Precompile signatures as a flat array, computed once at module load:
+   syscall dispatch indexes it directly instead of walking the signature
+   list on every call. *)
+let precompile_signatures : (string * int) array =
+  Array.of_list Extern.signatures
+
 let precompile_syscall_id name =
-  let rec find i = function
-    | [] -> invalid_arg ("unknown precompile " ^ name)
-    | (n, _) :: tl -> if String.equal n name then i else find (i + 1) tl
+  let n = Array.length precompile_signatures in
+  let rec find i =
+    if i >= n then invalid_arg ("unknown precompile " ^ name)
+    else if String.equal (fst precompile_signatures.(i)) name then i
+    else find (i + 1)
   in
-  syscall_precompile_base + find 0 Extern.signatures
+  syscall_precompile_base + find 0
 
 let precompile_of_syscall id =
   let i = id - syscall_precompile_base in
-  match List.nth_opt Extern.signatures i with
-  | Some (name, arity) -> (name, arity)
-  | None -> raise (Trap (Printf.sprintf "unknown syscall %d" id))
+  if i >= 0 && i < Array.length precompile_signatures then
+    precompile_signatures.(i)
+  else raise (Trap (Printf.sprintf "unknown syscall %d" id))
 
 let create ?(hooks = no_hooks ()) (prog : Asm.program) (m : Modul.t) : t =
   let mem = Memory.create () in

@@ -45,6 +45,26 @@ type t =
 let is_branch = function Branch _ | Jal _ | Jalr _ -> true | _ -> false
 let is_mem = function Load _ | Store _ -> true | _ -> false
 
+(* Dense sub-opcode indexes.  Pre-decoded executors (lib/zkvm's machine)
+   number the whole instruction space contiguously from these so dispatch
+   compiles to a jump table over small ints instead of a variant match
+   over boxed operands. *)
+let rop_index = function
+  | ADD -> 0 | SUB -> 1 | SLL -> 2 | SLT -> 3 | SLTU -> 4 | XOR -> 5
+  | SRL -> 6 | SRA -> 7 | OR -> 8 | AND -> 9 | MUL -> 10 | MULH -> 11
+  | MULHSU -> 12 | MULHU -> 13 | DIV -> 14 | DIVU -> 15 | REM -> 16
+  | REMU -> 17
+
+let iop_index = function
+  | ADDI -> 0 | SLTI -> 1 | SLTIU -> 2 | XORI -> 3 | ORI -> 4 | ANDI -> 5
+  | SLLI -> 6 | SRLI -> 7 | SRAI -> 8
+
+let lwidth_index = function LB -> 0 | LH -> 1 | LW -> 2 | LBU -> 3 | LHU -> 4
+let swidth_index = function SB -> 0 | SH -> 1 | SW -> 2
+
+let bcond_index = function
+  | BEQ -> 0 | BNE -> 1 | BLT -> 2 | BGE -> 3 | BLTU -> 4 | BGEU -> 5
+
 (* ------------------------------------------------------------------ *)
 (* Encoding                                                            *)
 (* ------------------------------------------------------------------ *)

@@ -30,11 +30,11 @@ let zk_of_run (r : Vexec.result) : Measure.zk_metrics =
   }
 
 let of_program (p : Visa.program) : Backend.compiled =
-  let measure ~vm ?fault ?fuel ?attr () =
+  let measure ~vm ?fault ?fuel ?sink () =
     if not (String.equal vm cfg.Vconfig.name) then
       invalid_arg
         (Printf.sprintf "valida artifact cannot price backend %S" vm);
-    let r = Vexec.run ?fault ?fuel ?attr cfg p in
+    let r = Vexec.run ?fault ?fuel ?sink cfg p in
     {
       Backend.zk = zk_of_run r;
       accounting = Vexec.check_accounting r;

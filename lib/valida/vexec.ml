@@ -248,14 +248,15 @@ let step st =
     next ());
   (ins, !alu, !memr, !memw, !prec)
 
-let close_segment ?(fault = Zkopt_zkvm.Executor.No_fault) ?(final = false) ?attr
+let close_segment ?(fault = Zkopt_zkvm.Executor.No_fault) ?(final = false) ?sink
     ~at_pc st =
   let seg = { cpu_rows = st.seg_cpu; alu_rows = st.seg_alu; mem_rows = st.seg_mem } in
   st.segs <- seg :: st.segs;
-  (match attr with
-  | Some (a : Zkopt_zkvm.Executor.attr) ->
+  (match sink with
+  | Some (s : Zkopt_zkvm.Machine.sink) ->
     (* one segment event carrying all tables' rows; no paging dimension *)
-    a.attr_segment ~pc:at_pc ~user:(segment_rows seg) ~paging:0
+    s.Zkopt_zkvm.Machine.on_segment ~pc:at_pc ~user:(segment_rows seg)
+      ~paging:0
   | None -> ());
   let cpu, alu, mem =
     match fault with
@@ -277,9 +278,9 @@ let close_segment ?(fault = Zkopt_zkvm.Executor.No_fault) ?(final = false) ?attr
   st.seg_mem <- 0
 
 (** Execute a lowered program under configuration [cfg].  The optional
-    [attr] sink receives every accounted row with its synthetic pc (see
+    [sink] receives every accounted row with its synthetic pc (see
     {!shadow}); [fault] injects the cross-backend bug family. *)
-let run ?(fault = Zkopt_zkvm.Executor.No_fault) ?(fuel = 500_000_000) ?attr
+let run ?(fault = Zkopt_zkvm.Executor.No_fault) ?(fuel = 500_000_000) ?sink
     (cfg : Vconfig.t) (p : Visa.program) : result =
   let st =
     {
@@ -320,15 +321,18 @@ let run ?(fault = Zkopt_zkvm.Executor.No_fault) ?(fuel = 500_000_000) ?attr
     st.seg_mem <- st.seg_mem + memr + memw;
     st.reads <- st.reads + memr;
     st.writes <- st.writes + memw;
-    (match attr with
-    | Some (a : Zkopt_zkvm.Executor.attr) ->
+    (match sink with
+    | Some (s : Zkopt_zkvm.Machine.sink) ->
       let pc = pc32 idx in
       let total = 1 + alu + memr + memw in
       (match prec with
       | Some (name, c) ->
-        a.attr_instr ~pc (shadow ins idx) ~cost:(total - c);
-        a.attr_precompile ~pc ~name ~cost:c
-      | None -> a.attr_instr ~pc (shadow ins idx) ~cost:total)
+        s.Zkopt_zkvm.Machine.on_retires
+          (Zkopt_zkvm.Machine.retire1 ~pc (shadow ins idx) ~cost:(total - c));
+        s.Zkopt_zkvm.Machine.on_precompile ~pc ~name ~cost:c
+      | None ->
+        s.Zkopt_zkvm.Machine.on_retires
+          (Zkopt_zkvm.Machine.retire1 ~pc (shadow ins idx) ~cost:total))
     | None -> ());
     if
       (not st.halted)
@@ -336,7 +340,7 @@ let run ?(fault = Zkopt_zkvm.Executor.No_fault) ?(fuel = 500_000_000) ?attr
          || st.seg_alu >= cfg.Vconfig.table_limit
          || st.seg_mem >= cfg.Vconfig.table_limit)
     then begin
-      close_segment ~fault ?attr ~at_pc:(pc32 idx) st;
+      close_segment ~fault ?sink ~at_pc:(pc32 idx) st;
       match (fault, ins) with
       | Zkopt_zkvm.Executor.Silent_halt_on_boundary_jalr, Visa.Ret _ ->
         (* the continuation boundary landed on a return: the buggy
@@ -346,7 +350,7 @@ let run ?(fault = Zkopt_zkvm.Executor.No_fault) ?(fuel = 500_000_000) ?attr
       | _ -> ()
     end
   done;
-  close_segment ~fault ~final:true ?attr ~at_pc:(pc32 st.pc) st;
+  close_segment ~fault ~final:true ?sink ~at_pc:(pc32 st.pc) st;
   let exit_value =
     match fault with
     | Zkopt_zkvm.Executor.Corrupt_exit_value ->

@@ -7,11 +7,17 @@
     [page_out_cost] and the touched-set resets (the next segment must
     page everything in again).  Instruction fetch touches the code page.
 
+    {!run} executes on the decoded-stream machine ({!Machine}); the
+    historical implementation — the boxed reference emulator replayed
+    under accounting hooks — survives verbatim as {!run_reference}, the
+    semantics oracle the machine is differentially tested against.
+
     The optional [fault] injects one of a family of executor soundness /
-    accounting bugs (see {!fault}).  [Silent_halt_on_boundary_jalr] is the
-    silent-halt soundness bug the paper found in SP1 (§4.2): when a
-    segment boundary lands exactly on an indirect jump, the executor
-    stops mid-run but still reports success — the differential oracle in
+    accounting bugs (see {!Machine.fault}).
+    [Silent_halt_on_boundary_jalr] is the silent-halt soundness bug the
+    paper found in SP1 (§4.2): when a segment boundary lands exactly on
+    an indirect jump, the executor stops mid-run but still reports
+    success — the differential oracle in
     [examples/differential_oracle.ml] and the [sp1bug] bench catch it.
     The other faults model the same *class* of bug (a wrong-but-verifying
     trace) and are caught by the harness's accounting and checksum
@@ -20,66 +26,45 @@
 open Zkopt_ir
 open Zkopt_riscv
 
-type fault =
+type fault = Machine.fault =
   | No_fault
   | Silent_halt_on_boundary_jalr
-      (** §4.2: a shard boundary on an indirect jump silently drops the
-          rest of the execution; checksum diverges. *)
   | Dropped_page_out
-      (** Accounting bug: every other dirtied page's write-back cost is
-          dropped at segment close even though the page-out itself is
-          still counted — paging cycles no longer reconcile with the
-          page-event counts. *)
   | Truncated_final_segment
-      (** The final segment's tail is dropped from the reported cycle
-          totals while the per-segment trace keeps the full count — the
-          totals no longer reconcile with the segment list (a bogus
-          "speedup"). *)
   | Corrupt_exit_value
-      (** The journaled exit value is corrupted on halt — a direct
-          miscompile shape, caught by the checksum differential oracle. *)
 
-type segment = {
+type segment = Machine.segment = {
   user_cycles : int;
   paging_cycles : int;
 }
 
-(** Cycle-attribution sink.  When supplied to {!run}, every cost the
-    executor accounts is also reported to the sink together with the pc
-    it faults to, so a profiler (lib/prof) can charge it to a provenance
-    site.  The identities a healthy run preserves, per dimension:
-
-    - sum of [attr_instr]+[attr_precompile] costs = [user_cycles]
-    - sum of [attr_page_in]+[attr_page_out] costs = [paging_cycles]
-    - the [attr_segment] events replay the segment list exactly
-
-    Page-ins are charged to the pc whose fetch/access first touched the
-    page; page-outs to the pc that first dirtied the page in the segment;
-    segment events to the pc retiring when the segment closed.  When no
-    sink is installed the executor takes the pre-existing fast path. *)
-type attr = {
-  attr_instr : pc:int32 -> Zkopt_riscv.Isa.t -> cost:int -> unit;
-  attr_precompile : pc:int32 -> name:string -> cost:int -> unit;
-  attr_page_in : pc:int32 -> cost:int -> unit;
-  attr_page_out : pc:int32 -> cost:int -> unit;
-  attr_segment : pc:int32 -> user:int -> paging:int -> unit;
-}
-
-type result = {
+type result = Machine.result = {
   exit_value : int32;
   total_cycles : int;
   user_cycles : int;
   paging_cycles : int;
   page_ins : int;
   page_outs : int;
-  segments : segment list;        (* in execution order *)
+  segments : segment list;
   retired : int;
   loads : int;
   stores : int;
   branches : int;
   precompile_calls : int;
-  faulted : bool;                 (* the injected bug fired *)
+  faulted : bool;
 }
+
+(** Execute module [m] (already compiled to [cg]) under configuration
+    [cfg] on the decoded-stream machine.  [sink] optionally observes
+    every accounted event (see {!Machine.sink}); without it the machine
+    runs its indirect-call-free loop. *)
+let run ?fault ?fuel ?sink (cfg : Config.t) (cg : Codegen.t) (m : Modul.t) :
+    result =
+  Machine.run ?fault ?fuel ?sink (Machine.decode cfg cg m)
+
+(* ------------------------------------------------------------------ *)
+(* Reference path                                                      *)
+(* ------------------------------------------------------------------ *)
 
 type state = {
   cfg : Config.t;
@@ -112,18 +97,18 @@ let touch st ~write addr =
   if write && not (Hashtbl.mem st.dirty page) then
     Hashtbl.replace st.dirty page 0l
 
-let touch_attr a st ~write addr =
+let touch_attr (s : Machine.sink) st ~write addr =
   let page = Int32.to_int addr land 0xFFFF_FFFF / st.cfg.Config.page_bytes in
   if not (Hashtbl.mem st.touched page) then begin
     Hashtbl.replace st.touched page ();
     st.paging <- st.paging + st.cfg.Config.page_in_cost;
     st.page_ins <- st.page_ins + 1;
-    a.attr_page_in ~pc:st.cur_pc ~cost:st.cfg.Config.page_in_cost
+    s.Machine.on_page_in ~pc:st.cur_pc ~cost:st.cfg.Config.page_in_cost
   end;
   if write && not (Hashtbl.mem st.dirty page) then
     Hashtbl.replace st.dirty page st.cur_pc
 
-let close_segment ?(fault = No_fault) ?(final = false) ?attr st =
+let close_segment ?(fault = No_fault) ?(final = false) ?sink st =
   let outs = Hashtbl.length st.dirty in
   let out_cost = st.cfg.Config.page_out_cost in
   let charged =
@@ -135,8 +120,8 @@ let close_segment ?(fault = No_fault) ?(final = false) ?attr st =
     | _ -> outs
   in
   st.paging <- st.paging + (charged * out_cost);
-  (match attr with
-  | Some a ->
+  (match sink with
+  | Some (s : Machine.sink) ->
     (* charge write-backs to the first-dirtying pcs; under the injected
        accounting fault only the actually-charged count is attributed, so
        the attribution stays conserved against the (buggy) totals *)
@@ -145,13 +130,14 @@ let close_segment ?(fault = No_fault) ?(final = false) ?attr st =
       (fun _page pc ->
         if !remaining > 0 then begin
           decr remaining;
-          a.attr_page_out ~pc ~cost:out_cost
+          s.Machine.on_page_out ~pc ~cost:out_cost
         end)
       st.dirty
   | None -> ());
   st.page_outs <- st.page_outs + outs;
-  (match attr with
-  | Some a -> a.attr_segment ~pc:st.cur_pc ~user:st.user ~paging:st.paging
+  (match sink with
+  | Some (s : Machine.sink) ->
+    s.Machine.on_segment ~pc:st.cur_pc ~user:st.user ~paging:st.paging
   | None -> ());
   st.segs <- { user_cycles = st.user; paging_cycles = st.paging } :: st.segs;
   (match fault with
@@ -165,12 +151,13 @@ let close_segment ?(fault = No_fault) ?(final = false) ?attr st =
   Hashtbl.reset st.touched;
   Hashtbl.reset st.dirty
 
-(** Execute module [m] (already compiled to [cg]) under configuration
-    [cfg].  [attr] optionally attributes every accounted cost to the pc
-    that incurred it (see {!attr}); without it the hook bodies are the
-    pre-existing ones — the disabled path costs nothing extra. *)
-let run ?(fault = No_fault) ?(fuel = 500_000_000) ?attr (cfg : Config.t)
-    (cg : Codegen.t) (m : Modul.t) : result =
+(** The historical executor: the boxed reference emulator
+    ({!Zkopt_riscv.Emulator}) replayed under accounting hooks, with page
+    residency in [Hashtbl]s.  Kept verbatim as the oracle the machine
+    path is differentially tested against ([test/test_machine.ml]); slow
+    but independently trustworthy. *)
+let run_reference ?(fault = No_fault) ?(fuel = 500_000_000) ?sink
+    (cfg : Config.t) (cg : Codegen.t) (m : Modul.t) : result =
   let st =
     {
       cfg;
@@ -209,8 +196,8 @@ let run ?(fault = No_fault) ?(fuel = 500_000_000) ?attr (cfg : Config.t)
   in
   (* the sink is selected once, here: with no sink installed, the hook
      closures below are the pre-attribution ones — the disabled path
-     does not test [attr] per event *)
-  (match attr with
+     does not test [sink] per event *)
+  (match sink with
   | None ->
     hooks.on_instr <-
       (fun ~pc ins ->
@@ -227,27 +214,27 @@ let run ?(fault = No_fault) ?(fuel = 500_000_000) ?attr (cfg : Config.t)
       (fun name ->
         st.precompiles <- st.precompiles + 1;
         st.user <- st.user + Config.precompile_cost cfg name)
-  | Some a ->
+  | Some (s : Machine.sink) ->
     hooks.on_instr <-
       (fun ~pc ins ->
         st.cur_pc <- pc;
-        touch_attr a st ~write:false pc;
+        touch_attr s st ~write:false pc;
         let cost = Config.instr_cost cfg ins in
         st.user <- st.user + cost;
-        a.attr_instr ~pc ins ~cost;
+        s.Machine.on_retires (Machine.retire1 ~pc ins ~cost);
         (match ins with
         | Isa.Load _ -> st.loads <- st.loads + 1
         | Isa.Store _ -> st.stores <- st.stores + 1
         | Isa.Branch _ | Jal _ | Jalr _ -> st.branches <- st.branches + 1
         | _ -> ());
         boundary ins);
-    hooks.on_mem <- (fun ~write addr _bytes -> touch_attr a st ~write addr);
+    hooks.on_mem <- (fun ~write addr _bytes -> touch_attr s st ~write addr);
     hooks.on_precompile <-
       (fun name ->
         st.precompiles <- st.precompiles + 1;
         let cost = Config.precompile_cost cfg name in
         st.user <- st.user + cost;
-        a.attr_precompile ~pc:st.cur_pc ~name ~cost));
+        s.Machine.on_precompile ~pc:st.cur_pc ~name ~cost));
   let emu = Emulator.create ~hooks cg.Codegen.program m in
   let budget = ref fuel in
   while (not emu.Emulator.halted) && not !silent_halt do
@@ -256,10 +243,10 @@ let run ?(fault = No_fault) ?(fuel = 500_000_000) ?attr (cfg : Config.t)
     Emulator.step emu;
     if !boundary_pending && not !silent_halt then begin
       boundary_pending := false;
-      close_segment ~fault ?attr st
+      close_segment ~fault ?sink st
     end
   done;
-  close_segment ~fault ~final:true ?attr st;
+  close_segment ~fault ~final:true ?sink st;
   let exit_value =
     match fault with
     | Corrupt_exit_value ->

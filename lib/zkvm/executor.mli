@@ -1,0 +1,76 @@
+(** The zkVM executor: replays a guest binary while accounting cycles,
+    paging events and segmentation under a {!Config.t}.
+
+    {!run} executes on the decoded-stream machine ({!Machine});
+    {!run_reference} is the historical hook-driven implementation, kept
+    as the semantics oracle the machine is differentially tested
+    against.  The fault / segment / result types are {!Machine}'s,
+    re-exported so long-standing call sites keep reading naturally. *)
+
+open Zkopt_ir
+open Zkopt_riscv
+
+type fault = Machine.fault =
+  | No_fault
+  | Silent_halt_on_boundary_jalr
+      (** §4.2: a shard boundary on an indirect jump silently drops the
+          rest of the execution; checksum diverges. *)
+  | Dropped_page_out
+      (** Accounting bug: every other dirtied page's write-back cost is
+          dropped at segment close even though the page-out itself is
+          still counted. *)
+  | Truncated_final_segment
+      (** The final segment's tail is dropped from the reported cycle
+          totals while the per-segment trace keeps the full count. *)
+  | Corrupt_exit_value
+      (** The journaled exit value is corrupted on halt. *)
+
+type segment = Machine.segment = {
+  user_cycles : int;
+  paging_cycles : int;
+}
+
+type result = Machine.result = {
+  exit_value : int32;
+  total_cycles : int;
+  user_cycles : int;
+  paging_cycles : int;
+  page_ins : int;
+  page_outs : int;
+  segments : segment list;        (* in execution order *)
+  retired : int;
+  loads : int;
+  stores : int;
+  branches : int;
+  precompile_calls : int;
+  faulted : bool;                 (* the injected bug fired *)
+}
+
+(** Execute module [m] (already compiled to [cg]) under configuration
+    [cfg] on the decoded-stream machine.  [sink] optionally observes
+    every accounted event (see {!Machine.sink}); without it the machine
+    runs its indirect-call-free loop. *)
+val run :
+  ?fault:fault ->
+  ?fuel:int ->
+  ?sink:Machine.sink ->
+  Config.t ->
+  Codegen.t ->
+  Modul.t ->
+  result
+
+(** The historical executor: the boxed reference emulator replayed under
+    accounting hooks, page residency in [Hashtbl]s.  Slow but
+    independently trustworthy; [test/test_machine.ml] pins {!run} to it
+    bit-for-bit. *)
+val run_reference :
+  ?fault:fault ->
+  ?fuel:int ->
+  ?sink:Machine.sink ->
+  Config.t ->
+  Codegen.t ->
+  Modul.t ->
+  result
+
+(** Simulated executor wall-clock time in seconds. *)
+val exec_time_s : Config.t -> result -> float

@@ -16,9 +16,9 @@ type metrics = {
   exec : Executor.result;
 }
 
-let measure ?fault ?fuel ?attr (cfg : Config.t) (cg : Codegen.t)
+let measure ?fault ?fuel ?sink (cfg : Config.t) (cg : Codegen.t)
     (m : Modul.t) : metrics =
-  let exec = Executor.run ?fault ?fuel ?attr cfg cg m in
+  let exec = Executor.run ?fault ?fuel ?sink cfg cg m in
   let prove = Prover.prove cfg exec in
   {
     vm = cfg.Config.name;

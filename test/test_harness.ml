@@ -254,16 +254,16 @@ let test_accounting_oracle () =
   let build () = touch_pages_program 16 in
   let c = Measure.prepare ~build Profile.Baseline in
   let cfg = Zkopt_zkvm.Config.risc0 in
-  let healthy = Measure.run_zkvm_raw cfg c in
+  let healthy = Measure.run cfg c in
   Alcotest.(check bool) "healthy run reconciles" true
     (Cell.check_accounting cfg healthy = Ok ());
   let dropped =
-    Measure.run_zkvm_raw ~fault:Zkopt_zkvm.Executor.Dropped_page_out cfg c
+    Measure.run ~fault:Zkopt_zkvm.Executor.Dropped_page_out cfg c
   in
   Alcotest.(check bool) "dropped page-out caught" true
     (Result.is_error (Cell.check_accounting cfg dropped));
   let truncated =
-    Measure.run_zkvm_raw ~fault:Zkopt_zkvm.Executor.Truncated_final_segment
+    Measure.run ~fault:Zkopt_zkvm.Executor.Truncated_final_segment
       cfg c
   in
   Alcotest.(check bool) "truncated final segment caught" true

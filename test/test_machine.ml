@@ -1,0 +1,212 @@
+(** Differential equivalence of the decoded-stream machine against the
+    reference executor.
+
+    {!Zkopt_zkvm.Machine} (reached through [Executor.run]) re-implements
+    the zkVM semantics for raw speed: flat pre-decoded instruction
+    stream, untagged native-int registers, epoch-stamped page bitmaps.
+    Its contract is that every accounted quantity is bit-for-bit the
+    reference executor's ([Executor.run_reference], the historical
+    hook-driven implementation kept as the semantics oracle).  These
+    properties push random {!Randprog} programs through both paths —
+    on both cost configs and under every injected fault — and demand
+    identical results, identical trap identity under starvation, and
+    that installing a sink perturbs nothing while its event streams
+    satisfy the documented accounting identities. *)
+
+open Zkopt_ir
+open Zkopt_core
+module Config = Zkopt_zkvm.Config
+module Executor = Zkopt_zkvm.Executor
+module Machine = Zkopt_zkvm.Machine
+
+let all_faults =
+  [
+    (Executor.No_fault, "none");
+    (Executor.Silent_halt_on_boundary_jalr, "silent-halt");
+    (Executor.Dropped_page_out, "dropped-page-out");
+    (Executor.Truncated_final_segment, "truncated-final");
+    (Executor.Corrupt_exit_value, "corrupt-exit");
+  ]
+
+let compile seed =
+  let build () = Randprog.generate ~seed () in
+  Measure.prepare ~build Profile.Baseline
+
+(* Both executors share exception types; capture them so starvation and
+   trap behavior compare alongside normal completion. *)
+type outcome = Done of Executor.result | Raised of string
+
+let outcome ?fault ?fuel run cfg (c : Measure.compiled) =
+  match run ?fault ?fuel ?sink:None cfg c.Measure.codegen c.Measure.modul with
+  | (r : Executor.result) -> Done r
+  | exception Zkopt_riscv.Emulator.Trap m -> Raised ("trap: " ^ m)
+  | exception Zkopt_riscv.Emulator.Out_of_fuel n ->
+    Raised (Printf.sprintf "out-of-fuel %d" n)
+
+let show_result (r : Executor.result) =
+  Printf.sprintf
+    "exit=%ld total=%d user=%d paging=%d in=%d out=%d retired=%d ld=%d \
+     st=%d br=%d pre=%d faulted=%b segs=[%s]"
+    r.Executor.exit_value r.Executor.total_cycles r.Executor.user_cycles
+    r.Executor.paging_cycles r.Executor.page_ins r.Executor.page_outs
+    r.Executor.retired r.Executor.loads r.Executor.stores r.Executor.branches
+    r.Executor.precompile_calls r.Executor.faulted
+    (String.concat ";"
+       (List.map
+          (fun (s : Executor.segment) ->
+            Printf.sprintf "%d+%d" s.Executor.user_cycles
+              s.Executor.paging_cycles)
+          r.Executor.segments))
+
+let show_outcome = function
+  | Done r -> show_result r
+  | Raised m -> "raised " ^ m
+
+(* The result record is immutable ints / int32 / bool / a list of int
+   records, so structural equality is exactly field-for-field equality
+   (the per-segment trace included). *)
+let same a b =
+  match (a, b) with
+  | Done x, Done y -> x = y
+  | Raised x, Raised y -> String.equal x y
+  | _ -> false
+
+let prop_matches_reference =
+  QCheck.Test.make
+    ~name:"machine = reference on both configs under every fault" ~count:8
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let c = compile seed in
+      List.for_all
+        (fun cfg ->
+          List.for_all
+            (fun (fault, fname) ->
+              let want = outcome ~fault Executor.run_reference cfg c in
+              let got = outcome ~fault Executor.run cfg c in
+              same want got
+              || QCheck.Test.fail_reportf
+                   "seed %d / %s / fault %s:\n  reference: %s\n  machine:   %s"
+                   seed cfg.Config.name fname (show_outcome want)
+                   (show_outcome got))
+            all_faults)
+        [ Config.risc0; Config.sp1 ])
+
+let prop_fuel_starvation_matches =
+  QCheck.Test.make ~name:"fuel starvation raises identically" ~count:6
+    QCheck.(pair (int_range 1 100_000) (int_range 1 500))
+    (fun (seed, fuel) ->
+      let c = compile seed in
+      let want = outcome ~fuel Executor.run_reference Config.risc0 c in
+      let got = outcome ~fuel Executor.run Config.risc0 c in
+      same want got
+      || QCheck.Test.fail_reportf "seed %d fuel %d:\n  reference: %s\n  machine: %s"
+           seed fuel (show_outcome want) (show_outcome got))
+
+(* A sink that folds every channel into the accounting identities the
+   interface documents. *)
+type tally = {
+  mutable retires : int;
+  mutable retire_cost : int;
+  mutable precompile_cost : int;
+  mutable precompiles : int;
+  mutable page_in_cost : int;
+  mutable page_out_cost : int;
+  mutable segs : (int * int) list;  (* reversed (user, paging) *)
+}
+
+let tally_sink () =
+  let t =
+    {
+      retires = 0;
+      retire_cost = 0;
+      precompile_cost = 0;
+      precompiles = 0;
+      page_in_cost = 0;
+      page_out_cost = 0;
+      segs = [];
+    }
+  in
+  let sink =
+    Machine.sink
+      ~on_retires:
+        (Machine.iter_retires (fun ~pc:_ _ins ~cost ->
+             t.retires <- t.retires + 1;
+             t.retire_cost <- t.retire_cost + cost))
+      ~on_precompile:(fun ~pc:_ ~name:_ ~cost ->
+        t.precompiles <- t.precompiles + 1;
+        t.precompile_cost <- t.precompile_cost + cost)
+      ~on_page_in:(fun ~pc:_ ~cost -> t.page_in_cost <- t.page_in_cost + cost)
+      ~on_page_out:(fun ~pc:_ ~cost ->
+        t.page_out_cost <- t.page_out_cost + cost)
+      ~on_segment:(fun ~pc:_ ~user ~paging ->
+        t.segs <- (user, paging) :: t.segs)
+      ()
+  in
+  (t, sink)
+
+let prop_sink_transparent_and_conserving =
+  QCheck.Test.make
+    ~name:"sink observes without perturbing; event sums close" ~count:8
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let c = compile seed in
+      List.for_all
+        (fun cfg ->
+          let plain =
+            Executor.run cfg c.Measure.codegen c.Measure.modul
+          in
+          let t, sink = tally_sink () in
+          let observed =
+            Executor.run ~sink cfg c.Measure.codegen c.Measure.modul
+          in
+          let segs_seen = List.rev t.segs in
+          let segs_real =
+            List.map
+              (fun (s : Executor.segment) ->
+                (s.Executor.user_cycles, s.Executor.paging_cycles))
+              observed.Executor.segments
+          in
+          (plain = observed
+          && t.retires = observed.Executor.retired
+          && t.precompiles = observed.Executor.precompile_calls
+          && t.retire_cost + t.precompile_cost = observed.Executor.user_cycles
+          && t.page_in_cost + t.page_out_cost
+             = observed.Executor.paging_cycles
+          && segs_seen = segs_real)
+          || QCheck.Test.fail_reportf
+               "seed %d / %s: sink broke an identity\n\
+               \  plain:    %s\n\
+               \  observed: %s\n\
+               \  tally: retires=%d retire+pre=%d+%d pagein+out=%d+%d segs=%d"
+               seed cfg.Config.name (show_result plain) (show_result observed)
+               t.retires t.retire_cost t.precompile_cost t.page_in_cost
+               t.page_out_cost (List.length segs_seen))
+        [ Config.risc0; Config.sp1 ])
+
+let prop_decode_once_run_many =
+  QCheck.Test.make ~name:"one decode, repeated runs are deterministic"
+    ~count:6
+    QCheck.(int_range 1 100_000)
+    (fun seed ->
+      let c = compile seed in
+      let code =
+        Machine.decode Config.sp1 c.Measure.codegen c.Measure.modul
+      in
+      let a = Machine.run code in
+      let b = Machine.run code in
+      let d1 = Machine.run ~fault:Executor.Dropped_page_out code in
+      let d2 = Machine.run ~fault:Executor.Dropped_page_out code in
+      (* a faulted run must never bill MORE paging than a healthy one *)
+      a = b
+      && d1 = d2
+      && d1.Executor.paging_cycles <= a.Executor.paging_cycles
+      || QCheck.Test.fail_reportf "seed %d: repeated runs diverged" seed)
+
+let tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_matches_reference;
+      prop_fuel_starvation_matches;
+      prop_sink_transparent_and_conserving;
+      prop_decode_once_run_many;
+    ]

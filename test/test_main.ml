@@ -6,6 +6,7 @@ let () =
       ("riscv", Test_riscv.tests);
       ("passes", Test_passes.tests);
       ("zkvm", Test_zkvm.tests);
+      ("machine", Test_machine.tests);
       ("crypto", Test_crypto.tests);
       ("infra", Test_infra.tests);
       ("workloads", Test_workloads.tests);
