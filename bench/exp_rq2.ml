@@ -46,11 +46,15 @@ let fig5 sweep =
 (* Fig. 6 — autotuning NPB + crypto                                    *)
 (* ------------------------------------------------------------------ *)
 
-let autotune_suites ~size ~iterations sweep =
+let autotune_suites ~size ~iterations ?(jobs = 1) sweep =
+  let module A = Zkopt_autotune.Autotune in
+  let module Tuned = Zkopt_autotune.Tuned in
+  let module Cache = Zkopt_exec.Cache in
   Report.section
     (Printf.sprintf
-       "Fig. 6 — autotuned pass sequences vs -O3, NPB & crypto suites (GA, %d evals/prog)"
-       iterations);
+       "Fig. 6 — autotuned pass sequences vs -O3, NPB & crypto suites \
+        (search engine, %d evals/prog, %d jobs)"
+       iterations jobs);
   Report.paper
     "NPB: ~+17-19%% exec/prove on both zkVMs, npb-sp >2x; crypto: +10-12%% \
      exec, +3.5-6.8%% prove (precompiles flatten gains)";
@@ -61,52 +65,88 @@ let autotune_suites ~size ~iterations sweep =
     @ Zkopt_workloads.Workload.by_suite "a16z"
     @ Zkopt_workloads.Workload.by_suite "succinct"
   in
+  (* one warm pool + compile/prefix caches across every (program, backend)
+     search: genomes sharing pipeline prefixes — across seeds, too — reuse
+     partially-optimized modules, and structurally identical results reuse
+     compiled artifacts *)
+  let artifacts = Cache.create ~capacity:1024 () in
+  let prefixes = Cache.create ~capacity:2048 () in
+  let pool = if jobs > 1 then Some (Zkopt_exec.Pool.create ~jobs) else None in
   let results = ref [] in
+  let entries = ref [] in
   let rows =
-    List.concat_map
-      (fun (w : Zkopt_workloads.Workload.t) ->
-        List.map
-          (fun (label, vm_cfg, vm) ->
-            let build () = w.Zkopt_workloads.Workload.build size in
-            let ga =
-              Zkopt_autotune.Autotune.run ~seed:(Hashtbl.hash w.name)
-                ~iterations
-                ~cycles:(Zkopt_autotune.Autotune.zkvm_cycles ~build vm_cfg)
-                ()
-            in
-            results := (w.name, label, ga) :: !results;
-            (* measure the best genome end-to-end vs -O3 *)
-            let o3 =
-              Sweep.get sweep w.Zkopt_workloads.Workload.name "-O3"
-            in
-            let best_profile =
-              Zkopt_core.Profile.Custom
-                (ga.Zkopt_autotune.Autotune.best.genome,
-                 Zkopt_passes.Pass.standard_config)
-            in
-            let c = Zkopt_core.Measure.prepare ~build best_profile in
-            let tuned = Zkopt_core.Measure.run_zkvm vm_cfg c in
-            let o3m = Sweep.zk_of o3 vm in
-            let exec_speedup =
-              Stats.improvement_pct
-                ~base:o3m.Zkopt_core.Measure.exec_time_s
-                tuned.Zkopt_core.Measure.exec_time_s
-            in
-            let prove_speedup =
-              Stats.improvement_pct
-                ~base:o3m.Zkopt_core.Measure.prove_time_s
-                tuned.Zkopt_core.Measure.prove_time_s
-            in
-            [ w.Zkopt_workloads.Workload.name; label;
-              Report.pct exec_speedup; Report.pct prove_speedup;
-              string_of_int (List.length ga.Zkopt_autotune.Autotune.best.genome) ])
-          [ ("risc0", Zkopt_zkvm.Config.risc0, `R0);
-            ("sp1", Zkopt_zkvm.Config.sp1, `Sp1) ])
-      progs
+    Fun.protect
+      ~finally:(fun () ->
+        match pool with Some p -> Zkopt_exec.Pool.shutdown p | None -> ())
+      (fun () ->
+        List.concat_map
+          (fun (w : Zkopt_workloads.Workload.t) ->
+            List.map
+              (fun (label, vm_cfg, vm) ->
+                let build () = w.Zkopt_workloads.Workload.build size in
+                let b = Zkopt_backend.Registry.find label in
+                let target =
+                  A.backend_target ~cache:artifacts ~program:w.name ~build b
+                in
+                let cfg =
+                  {
+                    (A.default ~seed:(Hashtbl.hash w.name) ~iterations ~jobs ())
+                    with
+                    A.pool;
+                    prefix_cache = Some prefixes;
+                  }
+                in
+                let o = A.search cfg ~targets:[ target ] in
+                let ga = Option.get o.A.result in
+                results := (w.name, label, ga) :: !results;
+                let entry =
+                  Tuned.entry ~program:w.name ~vm:label
+                    ~cycles:ga.A.best.A.fitness ga.A.best.A.genome
+                in
+                entries := entry :: !entries;
+                (* measure the winning sequence end-to-end vs -O3, under its
+                   published profile name *)
+                let o3 =
+                  Sweep.get sweep w.Zkopt_workloads.Workload.name "-O3"
+                in
+                let c =
+                  Zkopt_core.Measure.prepare ~build (Tuned.to_profile entry)
+                in
+                let tuned = Zkopt_core.Measure.run_zkvm vm_cfg c in
+                let o3m = Sweep.zk_of o3 vm in
+                let exec_speedup =
+                  Stats.improvement_pct
+                    ~base:o3m.Zkopt_core.Measure.exec_time_s
+                    tuned.Zkopt_core.Measure.exec_time_s
+                in
+                let prove_speedup =
+                  Stats.improvement_pct
+                    ~base:o3m.Zkopt_core.Measure.prove_time_s
+                    tuned.Zkopt_core.Measure.prove_time_s
+                in
+                [ entry.Tuned.name;
+                  Report.pct exec_speedup; Report.pct prove_speedup;
+                  string_of_int (List.length ga.A.best.A.genome) ])
+              [ ("risc0", Zkopt_zkvm.Config.risc0, `R0);
+                ("sp1", Zkopt_zkvm.Config.sp1, `Sp1) ])
+          progs)
   in
   Report.table
-    ~headers:[ "program"; "zkVM"; "exec vs -O3"; "prove vs -O3"; "seq len" ]
+    ~headers:[ "tuned profile"; "exec vs -O3"; "prove vs -O3"; "seq len" ]
     rows;
+  let ps = Cache.stats prefixes and cs = Cache.stats artifacts in
+  Report.note
+    "engine: prefix cache %d hits / %d compiles (%.1f%%); artifact cache %d \
+     hits / %d compiles (%.1f%%)"
+    ps.Cache.hits ps.Cache.misses (Cache.hit_rate_pct ps) cs.Cache.hits
+    cs.Cache.misses (Cache.hit_rate_pct cs);
+  (match Tuned.save "tuned_profiles.json" (List.rev !entries) with
+  | Ok () ->
+    Report.note
+      "published %d tuned profiles to tuned_profiles.json (consume with \
+       `zkbench sweepall --tuned tuned_profiles.json`)"
+      (List.length !entries)
+  | Error msg -> Report.note "tuned-profile publication failed: %s" msg);
   !results
 
 let subsequences results =
@@ -142,9 +182,26 @@ let subsequences results =
     (Zkopt_autotune.Autotune.count_ordered_pair "inline" "licm" worst_seqs);
   Report.note "  licm..inline  in best: %d   in worst: %d"
     (Zkopt_autotune.Autotune.count_ordered_pair "licm" "inline" best_seqs)
-    (Zkopt_autotune.Autotune.count_ordered_pair "licm" "inline" worst_seqs)
+    (Zkopt_autotune.Autotune.count_ordered_pair "licm" "inline" worst_seqs);
+  let module M = Zkopt_autotune.Miner in
+  let take n xs = List.filteri (fun i _ -> i < n) xs in
+  Report.note "most frequent ordered pairs mined from best-5 sequences:";
+  List.iter
+    (fun ((a, b), c) -> Report.note "  %-14s .. %-14s : %d" a b c)
+    (take 6 (M.pair_table best_seqs));
+  let contrasts = M.contrast_mine ~best:best_seqs ~worst:worst_seqs () in
+  if contrasts <> [] then
+    Report.table
+      ~headers:[ "mined subsequence"; "best"; "worst"; "contrast" ]
+      (List.map
+         (fun (c : M.contrast) ->
+           [ String.concat ".." c.M.seq;
+             Printf.sprintf "%d/%d" c.M.support_best nb;
+             Printf.sprintf "%d/%d" c.M.support_worst nw;
+             Printf.sprintf "%+.2f" c.M.score ])
+         (take 8 contrasts))
 
-let run ~size ~iterations sweep =
+let run ~size ~iterations ?(jobs = 1) sweep =
   fig5 sweep;
-  let results = autotune_suites ~size ~iterations sweep in
+  let results = autotune_suites ~size ~iterations ~jobs sweep in
   subsequences results

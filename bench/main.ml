@@ -91,7 +91,9 @@ let () =
   if want "fig5" then with_sweep Exp_rq2.fig5;
   if want "fig6" || want "subseq" then
     with_sweep (fun s ->
-        let results = Exp_rq2.autotune_suites ~size ~iterations:ga_iters s in
+        let results =
+          Exp_rq2.autotune_suites ~size ~iterations:ga_iters ~jobs s
+        in
         Exp_rq2.subsequences results);
   if want "fig7" then with_sweep Exp_rq3.fig7;
   if want "fig8" then with_sweep Exp_rq3.fig8;

@@ -16,6 +16,10 @@
     zkbench fuzz --seeds 1..500 --jobs 4 --minimize --corpus corpus
                                          # differential fuzzing campaign
     zkbench autotune npb-mg --iters 80   # GA pass-sequence search
+    zkbench tune npb-sp --backend risc0 --iterations 1600 --jobs 8
+                                         # full-budget parallel search with
+                                         # prefix caching and --profile-out
+    zkbench sweepall --tuned tuned.json  # tuned profiles join the matrix
     zkbench asm fibonacci -O3            # dump the RV32 assembly
     zkbench serve --dir _zkserve &       # persistent sweep service
     zkbench submit sweep --programs factorial,sha256 --quick
@@ -378,9 +382,27 @@ let sweepall_cmd =
              ~doc:"Comma-separated backend columns to measure (default: \
                    risc0,sp1; see `zkbench backends`)")
   in
-  let run quick ckpt fresh budget limit jobs cache_dir no_disk_cache backends =
+  let tuned_arg =
+    Arg.(value & opt (some string) None
+         & info [ "tuned" ] ~docv:"FILE"
+             ~doc:"Add the tuned profiles from a `zkbench tune \
+                   --profile-out` JSON file as extra matrix columns")
+  in
+  let run quick ckpt fresh budget limit jobs cache_dir no_disk_cache backends
+      tuned =
     let module H = Zkopt_harness.Harness in
     let size = size_of_quick quick in
+    let profiles =
+      match tuned with
+      | None -> None
+      | Some file -> (
+        match Zkopt_autotune.Tuned.load file with
+        | Ok entries ->
+          Some
+            (Profile.all_71
+            @ List.map Zkopt_autotune.Tuned.to_profile entries)
+        | Error msg -> failwith (Printf.sprintf "--tuned %s: %s" file msg))
+    in
     let backends =
       Option.map
         (fun s ->
@@ -403,6 +425,7 @@ let sweepall_cmd =
       {
         (H.default ~size) with
         H.progress = true;
+        profiles;
         checkpoint = ckpt;
         resume = not fresh;
         failure_budget = budget;
@@ -447,7 +470,7 @@ let sweepall_cmd =
              quarantine, retry, and checkpoint/resume")
     Term.(const run $ quick_arg $ ckpt_arg $ fresh_arg $ budget_arg
           $ limit_arg $ jobs_arg $ cache_dir_arg $ no_disk_cache_arg
-          $ backends_arg)
+          $ backends_arg $ tuned_arg)
 
 let fuzz_cmd =
   let module Case = Zkopt_fuzz.Case in
@@ -652,6 +675,120 @@ let autotune_cmd =
   Cmd.v (Cmd.info "autotune" ~doc:"Genetic pass-sequence search for a program")
     Term.(const run $ prog_arg $ quick_arg $ iters_arg $ vm_arg)
 
+let tune_cmd =
+  let module A = Zkopt_autotune.Autotune in
+  let module Tuned = Zkopt_autotune.Tuned in
+  let vm_arg =
+    Arg.(value & opt string "risc0"
+         & info [ "backend"; "vm" ] ~docv:"NAME"
+             ~doc:"Backend objective (see `zkbench backends`)")
+  in
+  let iters_arg =
+    Arg.(value & opt int 160
+         & info [ "iterations"; "iters" ] ~docv:"N"
+             ~doc:"Genome evaluations (the paper's deep dives use 1600)")
+  in
+  let population_arg =
+    Arg.(value & opt int 16
+         & info [ "population" ] ~docv:"N" ~doc:"Genomes per generation")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Search seed")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains evaluating a generation in parallel \
+                   (default: the recommended domain count; results are \
+                   identical at any job count)")
+  in
+  let ckpt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Append per-generation rows to FILE; rerunning with the \
+                   same file resumes the search")
+  in
+  let fresh_arg =
+    Arg.(value & flag
+         & info [ "fresh" ]
+             ~doc:"Ignore an existing checkpoint (default is to resume)")
+  in
+  let profile_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "profile-out" ] ~docv:"FILE"
+             ~doc:"Write the winning sequence as a named-profile JSON file \
+                   consumable by `zkbench sweepall --tuned`")
+  in
+  let no_prune_arg =
+    Arg.(value & flag
+         & info [ "no-prune" ]
+             ~doc:"Disable prefix-estimate early exit (measure every \
+                   non-deduped genome)")
+  in
+  let run prog quick vm iters population seed jobs ckpt fresh profile_out
+      no_prune =
+    let w = find_workload prog in
+    let build () = w.Zkopt_workloads.Workload.build (size_of_quick quick) in
+    let b = resolve_backend vm in
+    let jobs =
+      match jobs with
+      | Some n -> max 1 n
+      | None -> Zkopt_exec.Pool.recommended_jobs ()
+    in
+    let artifacts = Zkopt_exec.Cache.create () in
+    let target = A.backend_target ~cache:artifacts ~program:prog ~build b in
+    let cfg =
+      {
+        (A.default ~seed ~population ~iterations:iters ~jobs ()) with
+        A.prune = not no_prune;
+        checkpoint = ckpt;
+        resume = not fresh;
+      }
+    in
+    let o = A.search cfg ~targets:[ target ] in
+    match o.A.result with
+    | None ->
+      Printf.eprintf "tune: stopped before completing a generation\n";
+      exit 1
+    | Some ga ->
+      let best = ga.A.best in
+      Printf.printf "tuned %s@%s: %d cycles after %d evaluations (%d \
+                     generations%s)\n"
+        prog b.Backend.name best.A.fitness ga.A.evaluations
+        (List.length ga.A.history)
+        (if o.A.resumed > 0 then
+           Printf.sprintf ", %d resumed from checkpoint" o.A.resumed
+         else "");
+      Printf.printf "  %s\n" (String.concat " -> " best.A.genome);
+      let cs = o.A.cache_stats in
+      Printf.printf
+        "engine: %d measured, %d deduped, %d pruned, %d failed; prefix \
+         cache %d hits / %d compiles (%.1f%% hit rate; %d jobs)\n"
+        cs.A.measured cs.A.dedup_hits cs.A.pruned cs.A.failed
+        cs.A.prefix.Zkopt_exec.Cache.hits cs.A.prefix.Zkopt_exec.Cache.misses
+        (Zkopt_exec.Cache.hit_rate_pct cs.A.prefix)
+        jobs;
+      (match profile_out with
+      | None -> ()
+      | Some path -> (
+        let e =
+          Tuned.entry ~program:prog ~vm:b.Backend.name ~cycles:best.A.fitness
+            best.A.genome
+        in
+        match Tuned.save path [ e ] with
+        | Ok () -> Printf.printf "wrote %s (profile %S)\n" path e.Tuned.name
+        | Error msg -> failwith ("--profile-out: " ^ msg)))
+  in
+  Cmd.v
+    (Cmd.info "tune"
+       ~doc:"Full-budget parallel pass-sequence search: generation-parallel \
+             evaluation over a domain pool, prefix-cached compilation, \
+             dedup/pruning, checkpoint/resume, and named-profile output \
+             for the sweep matrix")
+    Term.(const run $ prog_arg $ quick_arg $ vm_arg $ iters_arg
+          $ population_arg $ seed_arg $ jobs_arg $ ckpt_arg $ fresh_arg
+          $ profile_out_arg $ no_prune_arg)
+
 let backends_cmd =
   let run () =
     List.iter
@@ -772,6 +909,11 @@ let submit_cmd =
     Arg.(value & opt int 1
          & info [ "seed" ] ~docv:"N" ~doc:"GA seed (autotune kind)")
   in
+  let population_arg =
+    Arg.(value & opt int 16
+         & info [ "population" ] ~docv:"N"
+             ~doc:"Genomes per generation (autotune kind)")
+  in
   let seeds_arg =
     Arg.(value & opt string "1..25"
          & info [ "seeds" ] ~docv:"LO..HI" ~doc:"Seed range (fuzz kind)")
@@ -804,7 +946,7 @@ let submit_cmd =
                    survives this client disconnecting)")
   in
   let run dir sock kind programs profiles backends program profile vm iters
-      seed seeds pipelines limit priority budget no_watch quick =
+      seed population seeds pipelines limit priority budget no_watch quick =
     let spec =
       match kind with
       | "sweep" ->
@@ -823,7 +965,7 @@ let submit_cmd =
       | "autotune" -> (
         match program with
         | Some program ->
-          Serve_job.Autotune { program; iters; vm; quick; seed }
+          Serve_job.Autotune { program; iters; vm; quick; seed; population }
         | None -> failwith "autotune jobs need --program")
       | "fuzz" -> (
         match Zkopt_devutil.Seedfmt.range_of_string seeds with
@@ -866,8 +1008,8 @@ let submit_cmd =
              `zkbench serve` daemon and stream its rows back")
     Term.(const run $ dir_arg $ sock_arg $ kind_arg $ programs_arg
           $ profiles_arg $ backends_arg $ program_arg $ profile_arg $ vm_arg
-          $ iters_arg $ seed_arg $ seeds_arg $ pipelines_arg $ limit_arg
-          $ priority_arg $ budget_arg $ no_watch_arg $ quick_arg)
+          $ iters_arg $ seed_arg $ population_arg $ seeds_arg $ pipelines_arg
+          $ limit_arg $ priority_arg $ budget_arg $ no_watch_arg $ quick_arg)
 
 let status_cmd =
   let json_flag =
@@ -1097,5 +1239,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; passes_cmd; backends_cmd; run_cmd; profile_cmd;
-            sweep_cmd; sweepall_cmd; fuzz_cmd; autotune_cmd; asm_cmd;
-            serve_cmd; submit_cmd; status_cmd; shutdown_cmd; bench_cmd ]))
+            sweep_cmd; sweepall_cmd; fuzz_cmd; autotune_cmd; tune_cmd;
+            asm_cmd; serve_cmd; submit_cmd; status_cmd; shutdown_cmd;
+            bench_cmd ]))

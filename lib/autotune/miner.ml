@@ -1,0 +1,166 @@
+(** §4.2 sequence mining over tuned-genome populations.
+
+    The paper's best/worst analysis asks which passes — and which
+    *orderings* of passes — separate the sequences the autotuner keeps
+    from the ones it discards ("inline in 573/580 best sequences; licm
+    in 385 worst; inline-then-licm appears in both camps").  This module
+    generalizes the original two counters to:
+
+    - containment and ordered-pair counts (the original primitives,
+      re-exported by {!Autotune} for compatibility), where an ordered
+      pair [a..a] requires two distinct occurrences;
+    - full non-contiguous subsequence containment ({!count_subsequence});
+    - an exhaustive ordered-pair table over the observed alphabet;
+    - level-wise mining of frequent common subsequences, filtered to the
+      {e maximal} ones (no mined supersequence also meets the support
+      floor);
+    - best/worst {e contrast scores}: the support-rate difference
+      [support_best/|best| - support_worst/|worst|], positive for
+      motifs that characterize winning pipelines and negative for the
+      losing camp's.
+
+    Everything here is pure list crunching over [string list] genomes;
+    the input sets are the [top5]/[bottom5] populations of a batch of
+    {!Autotune.result}s, i.e. tens of sequences of length <= 20, so the
+    level-wise miner's candidate growth is bounded by [max_len] rather
+    than by cleverness. *)
+
+(** How many of [sequences] contain pass [p]. *)
+let count_containing p sequences =
+  List.length (List.filter (fun s -> List.mem p s) sequences)
+
+(** How many of [sequences] contain [a] followed (not necessarily
+    adjacently) by [b].  When [a = b] this demands two occurrences. *)
+let count_ordered_pair a b sequences =
+  List.length
+    (List.filter
+       (fun s ->
+         let rec scan saw_a = function
+           | [] -> false
+           | x :: tl ->
+             if saw_a && String.equal x b then true
+             else scan (saw_a || String.equal x a) tl
+         in
+         scan false s)
+       sequences)
+
+(** [is_subsequence sub s]: does [s] contain [sub] in order, not
+    necessarily contiguously?  The empty sequence is a subsequence of
+    everything. *)
+let is_subsequence (sub : string list) (s : string list) : bool =
+  let rec go sub s =
+    match (sub, s) with
+    | [], _ -> true
+    | _, [] -> false
+    | x :: subtl, y :: stl ->
+      if String.equal x y then go subtl stl else go sub stl
+  in
+  go sub s
+
+(** How many of [sequences] contain [sub] as an ordered, possibly
+    non-contiguous subsequence. *)
+let count_subsequence sub sequences =
+  List.length (List.filter (is_subsequence sub) sequences)
+
+(** The sorted, deduplicated set of passes appearing in [sequences]. *)
+let alphabet (sequences : string list list) : string list =
+  List.sort_uniq String.compare (List.concat sequences)
+
+(** Every ordered pair (including [a..a]) with a non-zero count, sorted
+    by count descending then pair name — the §4.2 pair table in one
+    call. *)
+let pair_table (sequences : string list list) :
+    ((string * string) * int) list =
+  let genes = alphabet sequences in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          let c = count_ordered_pair a b sequences in
+          if c > 0 then Some ((a, b), c) else None)
+        genes)
+    genes
+  |> List.sort (fun ((a1, b1), c1) ((a2, b2), c2) ->
+         compare (c2, a1, b1) (c1, a2, b2))
+
+(** Level-wise (Apriori-style) frequent-subsequence mining: all
+    subsequences of length <= [max_len] over the frequent alphabet whose
+    support (number of containing sequences) is >= [min_support],
+    each with its support.  Candidates at level k+1 extend a frequent
+    level-k sequence by one frequent gene, which is complete because
+    support is antitone in subsequence extension. *)
+let frequent ?(min_support = 2) ?(max_len = 4) (sequences : string list list)
+    : (string list * int) list =
+  let min_support = max 1 min_support in
+  let support sub = count_subsequence sub sequences in
+  let l1 =
+    List.filter_map
+      (fun g ->
+        let s = support [ g ] in
+        if s >= min_support then Some ([ g ], s) else None)
+      (alphabet sequences)
+  in
+  let fgenes = List.map (fun (s, _) -> List.hd s) l1 in
+  let rec grow level acc len =
+    if len >= max_len || level = [] then acc
+    else
+      let next =
+        List.concat_map
+          (fun (sq, _) ->
+            List.filter_map
+              (fun g ->
+                let c = sq @ [ g ] in
+                let s = support c in
+                if s >= min_support then Some (c, s) else None)
+              fgenes)
+          level
+      in
+      grow next (acc @ next) (len + 1)
+  in
+  grow l1 l1 1
+
+(** Keep only the maximal mined sequences: drop any that is a proper
+    subsequence of another mined sequence (the shorter one carries no
+    information the longer one doesn't). *)
+let maximal (mined : (string list * int) list) : (string list * int) list =
+  List.filter
+    (fun (s, _) ->
+      not
+        (List.exists
+           (fun (t, _) -> (not (t = s)) && is_subsequence s t)
+           mined))
+    mined
+
+(** One mined motif scored against the best and worst camps. *)
+type contrast = {
+  seq : string list;
+  support_best : int;
+  support_worst : int;
+  score : float;
+      (** [support_best/|best| - support_worst/|worst|]; +1.0 = in every
+          best sequence and no worst one, -1.0 the reverse *)
+}
+
+(** Mine maximal common subsequences over [best @ worst] (so motifs
+    common to either camp are candidates) and score each by its
+    support-rate contrast.  [min_support] defaults to a majority of the
+    best camp.  Sorted by score descending; ties break on the motif. *)
+let contrast_mine ?min_support ?(max_len = 3) ~(best : string list list)
+    ~(worst : string list list) () : contrast list =
+  let nb = List.length best and nw = List.length worst in
+  let ms =
+    match min_support with Some m -> m | None -> max 2 ((nb + 1) / 2)
+  in
+  let mined = maximal (frequent ~min_support:ms ~max_len (best @ worst)) in
+  let frac s n = if n = 0 then 0.0 else float_of_int s /. float_of_int n in
+  List.map
+    (fun (sq, _) ->
+      let sb = count_subsequence sq best and sw = count_subsequence sq worst in
+      {
+        seq = sq;
+        support_best = sb;
+        support_worst = sw;
+        score = frac sb nb -. frac sw nw;
+      })
+    mined
+  |> List.sort (fun a b -> compare (b.score, a.seq) (a.score, b.seq))

@@ -1,0 +1,124 @@
+(** Tuned-profile publication: winning genomes as named profiles.
+
+    The search engine's output is a pass sequence; the sweep matrix
+    consumes {!Zkopt_core.Profile.t}s.  This module is the bridge: a
+    [entry] records a winning sequence with its provenance (program,
+    backend, best cycle count), converts to a [Profile.Tuned] whose name
+    survives into every report row, and round-trips through a versioned
+    JSON file so [zkbench tune --profile-out] output feeds
+    [zkbench sweepall --tuned]. *)
+
+module Json = Zkopt_report.Json
+
+(** File-format version tag; bump on incompatible change. *)
+let schema = "zkopt-tuned-v1"
+
+type entry = {
+  name : string;  (** profile name, e.g. ["tuned:npb-sp@risc0"] *)
+  program : string;  (** workload the sequence was tuned on *)
+  vm : string;  (** backend the objective priced *)
+  cycles : int;  (** best fitness the search recorded *)
+  passes : string list;  (** the winning genome *)
+}
+
+(** Canonical naming: [tuned:<program>@<vm>]. *)
+let entry ~(program : string) ~(vm : string) ~(cycles : int)
+    (passes : string list) : entry =
+  { name = Printf.sprintf "tuned:%s@%s" program vm; program; vm; cycles; passes }
+
+let to_profile (e : entry) : Zkopt_core.Profile.t =
+  Zkopt_core.Profile.Tuned { tname = e.name; passes = e.passes }
+
+let entry_to_json (e : entry) : Json.t =
+  Json.Obj
+    [
+      ("name", Json.Str e.name);
+      ("program", Json.Str e.program);
+      ("vm", Json.Str e.vm);
+      ("cycles", Json.Int e.cycles);
+      ("passes", Json.Arr (List.map (fun p -> Json.Str p) e.passes));
+    ]
+
+let entry_of_json (j : Json.t) : (entry, string) result =
+  let ( let* ) = Result.bind in
+  let req k =
+    match Json.str_member k j with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "tuned entry: missing %S" k)
+  in
+  let* name = req "name" in
+  let* program = req "program" in
+  let* vm = req "vm" in
+  let* cycles =
+    match Json.int_member "cycles" j with
+    | Some c -> Ok c
+    | None -> Error "tuned entry: missing \"cycles\""
+  in
+  let* passes =
+    match Json.member "passes" j with
+    | Some (Json.Arr ps) ->
+      List.fold_left
+        (fun acc p ->
+          let* acc = acc in
+          match p with
+          | Json.Str s -> Ok (s :: acc)
+          | _ -> Error "tuned entry: non-string pass")
+        (Ok []) ps
+      |> Result.map List.rev
+    | _ -> Error "tuned entry: missing \"passes\""
+  in
+  Ok { name; program; vm; cycles; passes }
+
+let to_json (entries : entry list) : Json.t =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("profiles", Json.Arr (List.map entry_to_json entries));
+    ]
+
+let of_json (j : Json.t) : (entry list, string) result =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Json.str_member "schema" j with
+    | Some s when String.equal s schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "tuned file: schema %S, want %S" s schema)
+    | None -> Error "tuned file: missing \"schema\""
+  in
+  match Json.member "profiles" j with
+  | Some (Json.Arr ps) ->
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        let* e = entry_of_json p in
+        Ok (e :: acc))
+      (Ok []) ps
+    |> Result.map List.rev
+  | _ -> Error "tuned file: missing \"profiles\""
+
+(** Write [entries] to [path] (atomically via temp + rename). *)
+let save (path : string) (entries : entry list) : (unit, string) result =
+  try
+    let tmp = path ^ ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Json.to_string (to_json entries));
+        output_char oc '\n');
+    Sys.rename tmp path;
+    Ok ()
+  with Sys_error msg -> Error msg
+
+(** Load a tuned-profile file written by {!save}. *)
+let load (path : string) : (entry list, string) result =
+  let ( let* ) = Result.bind in
+  let* text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (In_channel.input_all ic))
+    with Sys_error msg -> Error msg
+  in
+  let* j = Json.of_string (String.trim text) in
+  of_json j

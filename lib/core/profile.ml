@@ -10,6 +10,11 @@ type t =
   | Single_pass of string
   | Level of Catalog.level
   | Custom of string list * Pass.config
+  | Tuned of { tname : string; passes : string list }
+      (** an autotuner-published pipeline that keeps its given name in
+          every report row (a [Custom] sequence names itself after its
+          pass list, which is useless for "the tuned profile for npb-sp
+          on risc0") *)
   | Zkvm_o3
 
 let name = function
@@ -17,6 +22,7 @@ let name = function
   | Single_pass p -> p
   | Level l -> Catalog.level_name l
   | Custom (ps, _) -> "custom:" ^ String.concat "," ps
+  | Tuned { tname; _ } -> tname
   | Zkvm_o3 -> "-O3(zkvm)"
 
 (** The paper's 71 profiles. *)
@@ -31,4 +37,6 @@ let apply (t : t) (m : Zkopt_ir.Modul.t) =
   | Single_pass p -> ignore (Pass.run_one ~config:Pass.standard_config p m)
   | Level l -> Catalog.run_level l m
   | Custom (ps, config) -> ignore (Pass.run_sequence ~config ps m)
+  | Tuned { passes; _ } ->
+    ignore (Pass.run_sequence ~config:Pass.standard_config passes m)
   | Zkvm_o3 -> Catalog.run_zkvm_o3 m

@@ -61,3 +61,13 @@ let encode (m : Modul.t) : string =
 
 (** Hex digest of a module's canonical encoding. *)
 let of_modul (m : Modul.t) : string = Digest.to_hex (Digest.string (encode m))
+
+(** Hex digest of a pass-name pipeline prefix under a salt.  This is the
+    autotuner's prefix-cache key: the module produced by building [salt]
+    (a program identity) and running [passes] in order is fully
+    determined by the pair, so genomes sharing a prefix share one
+    partially-optimized module without ever materializing it first.
+    Contrast with {!of_modul}, which addresses a module that is already
+    in hand. *)
+let of_pipeline ~(salt : string) (passes : string list) : string =
+  Digest.to_hex (Digest.string (String.concat "\x00" (schema :: salt :: passes)))

@@ -31,6 +31,7 @@ type spec =
       vm : string;
       quick : bool;
       seed : int;
+      population : int;
     }
   | Fuzz of {
       seed_lo : int;
@@ -95,7 +96,7 @@ let spec_to_json : spec -> Json.t = function
         ("vm", Json.Str vm);
         ("quick", Json.Bool quick);
       ]
-  | Autotune { program; iters; vm; quick; seed } ->
+  | Autotune { program; iters; vm; quick; seed; population } ->
     Json.Obj
       [
         ("kind", Json.Str "autotune");
@@ -104,6 +105,7 @@ let spec_to_json : spec -> Json.t = function
         ("vm", Json.Str vm);
         ("quick", Json.Bool quick);
         ("seed", Json.Int seed);
+        ("population", Json.Int population);
       ]
   | Fuzz { seed_lo; seed_hi; pipelines; backends; limit } ->
     Json.Obj
@@ -159,6 +161,8 @@ let spec_of_json (j : Json.t) : (spec, string) result =
              vm = Option.value ~default:"risc0" (Json.str_member "vm" j);
              quick;
              seed = Option.value ~default:1 (Json.int_member "seed" j);
+             population =
+               Option.value ~default:16 (Json.int_member "population" j);
            })
     | None -> Error "autotune job needs \"program\"")
   | Some "fuzz" -> (

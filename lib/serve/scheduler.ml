@@ -57,6 +57,9 @@ type t = {
   pool : Pool.t;
   pool_jobs : int;
   cache : Backend.compiled Cache.t;
+  tune_cache : Zkopt_ir.Modul.t Cache.t;
+      (** autotune prefix-module cache, shared across tune jobs (memory
+          only: modules are mutable graphs, never disk-cached) *)
   q : jobrec Jobq.t;
   jobs : (string, jobrec) Hashtbl.t;
   mutable order : string list;  (** job ids, newest first *)
@@ -194,6 +197,7 @@ let create ~dir ~jobs ?(cache_dir = Some "_zkcache") ?(cache_capacity = 512)
       pool = Pool.create ~jobs;
       pool_jobs = jobs;
       cache = Cache.create ~capacity:cache_capacity ?dir:cache_dir ();
+      tune_cache = Cache.create ~capacity:512 ();
       q = Jobq.create ();
       jobs = Hashtbl.create 32;
       order = [];
@@ -415,38 +419,57 @@ let exec_profile t jr ~program ~profile ~vm ~quick : exec_result =
     spend t jr 1;
     Crashed (Printexc.to_string e)
 
-let exec_autotune t jr ~program ~iters ~vm ~quick ~seed : exec_result =
+let exec_autotune t jr ~program ~iters ~vm ~quick ~seed ~population :
+    exec_result =
   match
     let w = Workload.find program in
     let b = Registry.find vm in
     let build () = w.Workload.build (size_of_quick quick) in
-    let ga =
-      Autotune.run ~seed ~iterations:iters
-        ~cycles:(Autotune.backend_cycles ~build b)
-        ()
+    (* one target pricing [program] on [vm], compiling through the shared
+       artifact cache; the search engine streams every checkpoint row to
+       subscribers and resumes the row log across daemon restarts *)
+    let target = Autotune.backend_target ~cache:t.cache ~program ~build b in
+    let cfg =
+      {
+        (Autotune.default ~seed ~population ~iterations:iters ()) with
+        Autotune.jobs = t.pool_jobs;
+        pool = Some t.pool;
+        prefix_cache = Some t.tune_cache;
+        checkpoint = Some (ckpt_path t jr);
+        resume = true;
+        on_row = Some (push_row t jr);
+        stop = stop_for t jr;
+      }
     in
-    (* stream the search trajectory: one row per strict improvement *)
-    let _ =
-      List.fold_left
-        (fun (gen, best) fitness ->
-          if fitness < best then
-            push_row t jr
-              (Printf.sprintf "gen\t%d\t%d" gen fitness);
-          (gen + 1, min best fitness))
-        (0, max_int) ga.Autotune.history
-    in
-    let best = ga.Autotune.best in
-    Json.Obj
-      [
-        ("program", Json.Str program);
-        ("vm", Json.Str vm);
-        ("evaluations", Json.Int ga.Autotune.evaluations);
-        ("best_cycles", Json.Int best.Autotune.fitness);
-        ( "best_genome",
-          Json.Arr (List.map (fun p -> Json.Str p) best.Autotune.genome) );
-      ]
+    Autotune.search cfg ~targets:[ target ]
   with
-  | summary -> Completed summary
+  | o -> (
+    if (not o.Autotune.completed) && stop_for t jr () then interrupted t jr
+    else
+      match o.Autotune.result with
+      | None -> Crashed "autotune search produced no result"
+      | Some ga ->
+        let best = ga.Autotune.best in
+        let cs = o.Autotune.cache_stats in
+        Completed
+          (Json.Obj
+             [
+               ("program", Json.Str program);
+               ("vm", Json.Str vm);
+               ("evaluations", Json.Int ga.Autotune.evaluations);
+               ("resumed", Json.Int o.Autotune.resumed);
+               ("generations", Json.Int (List.length ga.Autotune.history));
+               ("best_cycles", Json.Int best.Autotune.fitness);
+               ( "best_genome",
+                 Json.Arr (List.map (fun p -> Json.Str p) best.Autotune.genome)
+               );
+               ("dedup_hits", Json.Int cs.Autotune.dedup_hits);
+               ("pruned", Json.Int cs.Autotune.pruned);
+               ("measured", Json.Int cs.Autotune.measured);
+               ( "prefix_cache",
+                 cache_stats_json cs.Autotune.prefix
+                   ~resident:(Cache.resident t.tune_cache) );
+             ]))
   | exception e ->
     spend t jr 1;
     Crashed (Printexc.to_string e)
@@ -514,8 +537,8 @@ let exec_job t (jr : jobrec) : exec_result =
       exec_sweep t jr ~programs ~profiles ~quick ~backends ~limit
     | Job.Profile_cell { program; profile; vm; quick } ->
       exec_profile t jr ~program ~profile ~vm ~quick
-    | Job.Autotune { program; iters; vm; quick; seed } ->
-      exec_autotune t jr ~program ~iters ~vm ~quick ~seed
+    | Job.Autotune { program; iters; vm; quick; seed; population } ->
+      exec_autotune t jr ~program ~iters ~vm ~quick ~seed ~population
     | Job.Fuzz { seed_lo; seed_hi; pipelines; backends; limit } ->
       exec_fuzz t jr ~seed_lo ~seed_hi ~pipelines ~backends ~limit)
 

@@ -15,5 +15,6 @@ let () =
       ("prof", Test_prof.tests);
       ("backend", Test_backend.tests);
       ("fuzz", Test_fuzz.tests);
+      ("autotune", Test_autotune.tests);
       ("serve", Test_serve.tests);
     ]

@@ -98,7 +98,8 @@ let spec_gen : Job.spec QCheck.Gen.t =
        let* vm in
        let* quick = bool in
        let* seed = int_range 1 1000 in
-       return (Job.Autotune { program; iters; vm; quick; seed }));
+       let* population = int_range 1 32 in
+       return (Job.Autotune { program; iters; vm; quick; seed; population }));
       (let* seed_lo = int_range 1 50 in
        let* span = int_range 0 50 in
        let* pipelines = list_size (int_range 1 3) profile in
