@@ -16,7 +16,7 @@
 let experiments =
   [ "fig2"; "fig3"; "tab1"; "fig4"; "corr"; "fig5"; "fig6"; "subseq"; "fig7";
     "fig8"; "fig9"; "fig10"; "fig11"; "tab2"; "fig12"; "inlthr"; "fig13";
-    "fig14"; "tab5"; "sp1bug"; "isa"; "prof"; "micro" ]
+    "fig14"; "tab5"; "sp1bug"; "isa"; "settle"; "prof"; "micro" ]
 
 let () =
   let args = Array.to_list Sys.argv in
@@ -108,6 +108,7 @@ let () =
   if want "tab5" then with_sweep Exp_impl.tab5;
   if want "sp1bug" then Exp_sp1bug.run ~size ();
   if want "isa" then Exp_isa.run ();
+  if want "settle" then Exp_settle.run ();
   if want "prof" then Exp_prof.run ();
   if want "micro" then Micro.run ();
   Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t0)

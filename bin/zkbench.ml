@@ -13,6 +13,9 @@
     zkbench sweepall --quick --checkpoint sweep.ckpt
                                          # fault-tolerant full-matrix sweep;
                                          # re-run the same command to resume
+    zkbench settle --quick --backends risc0,sp1,valida
+                                         # price the verifier: proof sizes,
+                                         # aggregation tree, EVM gas
     zkbench fuzz --seeds 1..500 --jobs 4 --minimize --corpus corpus
                                          # differential fuzzing campaign
     zkbench autotune npb-mg --iters 80   # GA pass-sequence search
@@ -49,6 +52,9 @@ let find_workload name =
 
 let size_of_quick quick =
   if quick then Zkopt_workloads.Workload.Quick else Zkopt_workloads.Workload.Full
+
+let comma_list s =
+  List.filter (fun x -> x <> "") (String.split_on_char ',' s)
 
 let show_metrics (zk : Measure.zk_metrics) =
   Printf.printf "  %-6s %10d cycles  exec %8.4fs  prove %8.2fs  %2d seg  paging %8d\n"
@@ -472,6 +478,169 @@ let sweepall_cmd =
           $ limit_arg $ jobs_arg $ cache_dir_arg $ no_disk_cache_arg
           $ backends_arg $ tuned_arg)
 
+let settle_cmd =
+  let module S = Zkopt_settle.Settle in
+  let module Ssweep = Zkopt_settle.Ssweep in
+  let programs_arg =
+    Arg.(value & opt (some string) None
+         & info [ "programs" ] ~docv:"NAMES"
+             ~doc:"Comma-separated programs to price (default: the full \
+                   suite)")
+  in
+  let profiles_arg =
+    Arg.(value & opt (some string) None
+         & info [ "profiles" ] ~docv:"NAMES"
+             ~doc:"Comma-separated profiles (default: \
+                   baseline,O1,O2,O3,Os,Oz,zk-o3)")
+  in
+  let backends_arg =
+    Arg.(value & opt (some string) None
+         & info [ "backends" ] ~docv:"NAMES"
+             ~doc:"Comma-separated backends to price (default: every \
+                   registered backend)")
+  in
+  let arity_arg =
+    Arg.(value & opt int 8
+         & info [ "arity" ] ~docv:"N"
+             ~doc:"Aggregation fan-in of the recursion tree")
+  in
+  let w_prove_arg =
+    Arg.(value & opt float 1.0
+         & info [ "w-prove" ] ~docv:"W"
+             ~doc:"Weight on segment proving seconds")
+  in
+  let w_agg_arg =
+    Arg.(value & opt float 1.0
+         & info [ "w-agg" ] ~docv:"W"
+             ~doc:"Weight on aggregation proving seconds")
+  in
+  let w_gas_arg =
+    Arg.(value & opt float 1.0
+         & info [ "w-gas" ] ~docv:"W" ~doc:"Weight on verification gas")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Worker domains pricing cells in parallel (default: the \
+                   recommended domain count; the row stream is \
+                   byte-identical at any job count)")
+  in
+  let ckpt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "checkpoint" ] ~docv:"FILE"
+             ~doc:"Stream completed rows to an append-only checkpoint \
+                   file; rerunning with the same file resumes the sweep")
+  in
+  let fresh_arg =
+    Arg.(value & flag
+         & info [ "fresh" ]
+             ~doc:"Discard an existing checkpoint (default is to resume)")
+  in
+  let cache_dir_arg =
+    Arg.(value & opt (some string) (Some "_zkcache")
+         & info [ "cache-dir" ] ~docv:"DIR"
+             ~doc:"On-disk compile-cache directory (default: _zkcache)")
+  in
+  let no_disk_cache_arg =
+    Arg.(value & flag
+         & info [ "no-disk-cache" ]
+             ~doc:"Keep the compile cache in memory only")
+  in
+  let run quick programs profiles backends arity w_prove w_agg w_gas jobs
+      ckpt fresh cache_dir no_disk_cache json =
+    let size = size_of_quick quick in
+    Zkopt_workloads.Suite.check_composition ();
+    let program_names =
+      match programs with
+      | Some s -> comma_list s
+      | None -> Zkopt_workloads.Workload.names ()
+    in
+    let programs =
+      List.map
+        (fun n ->
+          let w = Zkopt_workloads.Workload.find n in
+          (n, fun () -> w.Zkopt_workloads.Workload.build size))
+        program_names
+    in
+    let profile_names =
+      match profiles with
+      | Some s -> comma_list s
+      | None -> [ "baseline"; "O1"; "O2"; "O3"; "Os"; "Oz"; "zk-o3" ]
+    in
+    let profiles =
+      List.map
+        (fun n ->
+          let p = profile_by_name n in
+          (Profile.name p, p))
+        profile_names
+    in
+    let backends =
+      match backends with
+      | Some s -> List.map resolve_backend (comma_list s)
+      | None -> Registry.all ()
+    in
+    let jobs =
+      match jobs with
+      | Some n -> max 1 n
+      | None -> Zkopt_exec.Pool.recommended_jobs ()
+    in
+    (if fresh then
+       match ckpt with
+       | Some p when Sys.file_exists p -> Sys.remove p
+       | _ -> ());
+    let cache =
+      let dir = if no_disk_cache then None else cache_dir in
+      Zkopt_exec.Cache.create ?dir ()
+    in
+    let cfg =
+      {
+        (Ssweep.default ~jobs ()) with
+        Ssweep.programs;
+        profiles;
+        backends;
+        arity = Some arity;
+        weights = { S.w_prove; w_agg; w_gas };
+        cache = Some cache;
+        checkpoint = ckpt;
+      }
+    in
+    let o = Ssweep.run cfg in
+    let reports = List.filter_map S.report_of_row o.Ssweep.rows in
+    if json then
+      List.iter
+        (fun (program, profile, r) ->
+          print_endline
+            (Json.to_string (S.json_of_report ~program ~profile r)))
+        reports
+    else begin
+      Printf.printf "%-24s %-10s %-7s %10s %4s %8s %9s %5s %8s %12s\n"
+        "program" "profile" "backend" "cycles" "segs" "prove-s" "agg-ms"
+        "depth" "gas" "settled";
+      List.iter
+        (fun (program, profile, (r : S.report)) ->
+          Printf.printf
+            "%-24s %-10s %-7s %10d %4d %8.2f %9.1f %5d %8d %12d\n" program
+            profile r.S.backend r.S.cycles r.S.segments r.S.prove_s
+            (r.S.plan.Zkopt_settle.Recursion.agg_total_s *. 1e3)
+            r.S.plan.Zkopt_settle.Recursion.depth r.S.gas.Zkopt_settle.Gas.total
+            r.S.settled_cost)
+        reports;
+      Printf.printf
+        "settle: %d cells priced (%d replayed from checkpoint; %d jobs)\n"
+        o.Ssweep.cells o.Ssweep.replayed jobs
+    end
+  in
+  Cmd.v
+    (Cmd.info "settle"
+       ~doc:"Price the verifier: sweep a (program x profile x backend) \
+             matrix through the settlement models — segment proof sizes, \
+             the recursion/aggregation tree, and the EVM verification-gas \
+             model — and report the settled cost per cell")
+    Term.(const run $ quick_arg $ programs_arg $ profiles_arg
+          $ backends_arg $ arity_arg $ w_prove_arg $ w_agg_arg $ w_gas_arg
+          $ jobs_arg $ ckpt_arg $ fresh_arg $ cache_dir_arg
+          $ no_disk_cache_arg $ json_arg)
+
 let fuzz_cmd =
   let module Case = Zkopt_fuzz.Case in
   let module Campaign = Zkopt_fuzz.Campaign in
@@ -725,8 +894,15 @@ let tune_cmd =
              ~doc:"Disable prefix-estimate early exit (measure every \
                    non-deduped genome)")
   in
+  let objective_arg =
+    Arg.(value & opt string "cycles"
+         & info [ "objective" ] ~docv:"NAME"
+             ~doc:"Fitness the search minimizes: \"cycles\" (the backend's \
+                   cycle count) or \"settled\" (end-to-end settlement \
+                   micro-cost: prover + aggregation + verification gas)")
+  in
   let run prog quick vm iters population seed jobs ckpt fresh profile_out
-      no_prune =
+      no_prune objective =
     let w = find_workload prog in
     let build () = w.Zkopt_workloads.Workload.build (size_of_quick quick) in
     let b = resolve_backend vm in
@@ -736,7 +912,15 @@ let tune_cmd =
       | None -> Zkopt_exec.Pool.recommended_jobs ()
     in
     let artifacts = Zkopt_exec.Cache.create () in
-    let target = A.backend_target ~cache:artifacts ~program:prog ~build b in
+    let target, unit_name =
+      match objective with
+      | "cycles" ->
+        (A.backend_target ~cache:artifacts ~program:prog ~build b, "cycles")
+      | "settled" ->
+        ( A.settled_target ~cache:artifacts ~program:prog ~build b,
+          "settled micro-units" )
+      | o -> failwith ("unknown --objective " ^ o ^ " (cycles | settled)")
+    in
     let cfg =
       {
         (A.default ~seed ~population ~iterations:iters ~jobs ()) with
@@ -752,9 +936,9 @@ let tune_cmd =
       exit 1
     | Some ga ->
       let best = ga.A.best in
-      Printf.printf "tuned %s@%s: %d cycles after %d evaluations (%d \
+      Printf.printf "tuned %s@%s: %d %s after %d evaluations (%d \
                      generations%s)\n"
-        prog b.Backend.name best.A.fitness ga.A.evaluations
+        prog b.Backend.name best.A.fitness unit_name ga.A.evaluations
         (List.length ga.A.history)
         (if o.A.resumed > 0 then
            Printf.sprintf ", %d resumed from checkpoint" o.A.resumed
@@ -787,7 +971,7 @@ let tune_cmd =
              for the sweep matrix")
     Term.(const run $ prog_arg $ quick_arg $ vm_arg $ iters_arg
           $ population_arg $ seed_arg $ jobs_arg $ ckpt_arg $ fresh_arg
-          $ profile_out_arg $ no_prune_arg)
+          $ profile_out_arg $ no_prune_arg $ objective_arg)
 
 let backends_cmd =
   let run () =
@@ -863,14 +1047,11 @@ let serve_cmd =
              resumes every unfinished job from its checkpoint")
     Term.(const run $ dir_arg $ sock_arg $ jobs_arg)
 
-let comma_list s =
-  List.filter (fun x -> x <> "") (String.split_on_char ',' s)
-
 let submit_cmd =
   let kind_arg =
     Arg.(required & pos 0 (some string) None
          & info [] ~docv:"KIND"
-             ~doc:"Job kind: sweep | profile | autotune | fuzz")
+             ~doc:"Job kind: sweep | profile | autotune | fuzz | settle")
   in
   let programs_arg =
     Arg.(value & opt (some string) None
@@ -945,8 +1126,14 @@ let submit_cmd =
              ~doc:"Fire and forget: do not stream rows back (the job also \
                    survives this client disconnecting)")
   in
+  let arity_arg =
+    Arg.(value & opt int 8
+         & info [ "arity" ] ~docv:"N"
+             ~doc:"Aggregation fan-in (settle kind)")
+  in
   let run dir sock kind programs profiles backends program profile vm iters
-      seed population seeds pipelines limit priority budget no_watch quick =
+      seed population seeds pipelines limit priority budget no_watch arity
+      quick =
     let spec =
       match kind with
       | "sweep" ->
@@ -979,6 +1166,15 @@ let submit_cmd =
               limit;
             }
         | None -> failwith ("bad --seeds range: " ^ seeds))
+      | "settle" ->
+        Serve_job.Settle
+          {
+            programs = Option.map comma_list programs;
+            profiles = Option.map comma_list profiles;
+            backends = Option.map comma_list backends;
+            quick;
+            arity;
+          }
       | k -> failwith ("unknown job kind " ^ k)
     in
     let sock = sock_of ~dir ~sock in
@@ -1004,12 +1200,13 @@ let submit_cmd =
   in
   Cmd.v
     (Cmd.info "submit"
-       ~doc:"Submit a job (sweep | profile | autotune | fuzz) to a running \
-             `zkbench serve` daemon and stream its rows back")
+       ~doc:"Submit a job (sweep | profile | autotune | fuzz | settle) to \
+             a running `zkbench serve` daemon and stream its rows back")
     Term.(const run $ dir_arg $ sock_arg $ kind_arg $ programs_arg
           $ profiles_arg $ backends_arg $ program_arg $ profile_arg $ vm_arg
           $ iters_arg $ seed_arg $ population_arg $ seeds_arg $ pipelines_arg
-          $ limit_arg $ priority_arg $ budget_arg $ no_watch_arg $ quick_arg)
+          $ limit_arg $ priority_arg $ budget_arg $ no_watch_arg $ arity_arg
+          $ quick_arg)
 
 let status_cmd =
   let json_flag =
@@ -1202,6 +1399,7 @@ let bench_cmd =
         [
           ("schema", Json.Str "zkbench-bench-v1");
           ("date", Json.Str date);
+          ("machine", Json.Str (Zkopt_exec.Pool.machine_fingerprint ()));
           ("jobs", Json.Int jobs);
           ( "slice",
             Json.Obj
@@ -1239,6 +1437,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; passes_cmd; backends_cmd; run_cmd; profile_cmd;
-            sweep_cmd; sweepall_cmd; fuzz_cmd; autotune_cmd; tune_cmd;
-            asm_cmd; serve_cmd; submit_cmd; status_cmd; shutdown_cmd;
-            bench_cmd ]))
+            sweep_cmd; sweepall_cmd; settle_cmd; fuzz_cmd; autotune_cmd;
+            tune_cmd; asm_cmd; serve_cmd; submit_cmd; status_cmd;
+            shutdown_cmd; bench_cmd ]))

@@ -35,30 +35,43 @@ let num_member k j =
 
 (* best committed warm-sweep cells/s across the given baseline files;
    unparsable files are skipped (a corrupt baseline must not mask a
-   regression in the others) *)
-let best_baseline files =
-  List.fold_left
-    (fun best path ->
-      let contents =
-        let ic = open_in_bin path in
-        let n = in_channel_length ic in
-        let s = really_input_string ic n in
-        close_in ic;
-        s
-      in
-      match Json.of_string contents with
-      | Error _ -> best
-      | Ok doc -> (
-        match Json.member "rows" doc with
-        | Some (Json.Arr rows) ->
-          List.fold_left
-            (fun best row ->
-              match (Json.str_member "family" row, num_member "cells_per_second" row) with
-              | Some "sweep-warm", Some v -> max best v
-              | _ -> best)
-            best rows
-        | _ -> best))
-    0.0 files
+   regression in the others).  Baselines are keyed by machine
+   fingerprint: a number measured on a different machine class says
+   nothing about this host, so docs whose "machine" field is absent
+   (pre-fingerprint baselines) or different are skipped and counted,
+   never compared. *)
+let best_baseline ~machine files =
+  let skipped = ref 0 in
+  let best =
+    List.fold_left
+      (fun best path ->
+        let contents =
+          let ic = open_in_bin path in
+          let n = in_channel_length ic in
+          let s = really_input_string ic n in
+          close_in ic;
+          s
+        in
+        match Json.of_string contents with
+        | Error _ -> best
+        | Ok doc ->
+          if Json.str_member "machine" doc <> Some machine then begin
+            incr skipped;
+            best
+          end
+          else (
+            match Json.member "rows" doc with
+            | Some (Json.Arr rows) ->
+              List.fold_left
+                (fun best row ->
+                  match (Json.str_member "family" row, num_member "cells_per_second" row) with
+                  | Some "sweep-warm", Some v -> max best v
+                  | _ -> best)
+                best rows
+            | _ -> best))
+      0.0 files
+  in
+  (best, !skipped)
 
 let phase cache name =
   let t0 = Unix.gettimeofday () in
@@ -125,7 +138,13 @@ let () =
     | Some s -> (try float_of_string s with _ -> 10.0)
     | None -> 10.0
   in
-  let best = best_baseline baselines in
+  let machine = Zkopt_exec.Pool.machine_fingerprint () in
+  let best, skipped = best_baseline ~machine baselines in
+  if skipped > 0 then
+    Printf.printf
+      "benchcheck: skipped %d baseline(s) from a different machine class \
+       (this host: %s)\n"
+      skipped machine;
   let cache = Zkopt_exec.Cache.create () in
   let cells, cold_cps, cold = phase cache "sweep-cold" in
   let expected =
@@ -145,6 +164,7 @@ let () =
       [
         ("schema", Json.Str "zkbench-bench-v1");
         ("date", Json.Str date);
+        ("machine", Json.Str machine);
         ("jobs", Json.Int 2);
         ( "slice",
           Json.Obj
@@ -192,5 +212,9 @@ let () =
          - %.0f%%)"
         warm_cps floor best max_regress_pct
   end
-  else Printf.printf "benchcheck: no committed BENCH_*.json baseline found\n";
+  else
+    Printf.printf
+      "benchcheck: no committed BENCH_*.json baseline for this machine \
+       class (%s)\n"
+      machine;
   Seedfmt.finish tool

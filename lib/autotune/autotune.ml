@@ -213,6 +213,38 @@ let backend_target ?fuel ?cache ?(weight = 1.0) ~(program : string)
     measure;
   }
 
+(** A target pricing [program]'s full settlement cost on backend [b]:
+    fitness is {!Zkopt_settle.Settle.report.settled_cost} (prover +
+    aggregation + verification gas, integer micro-units) instead of raw
+    cycles.  Same artifact-cache discipline as {!backend_target}, so the
+    two objectives share compiled artifacts — a tune can be re-scored
+    under either without recompiling. *)
+let settled_target ?fuel ?cache ?(weight = 1.0) ?arity ?weights
+    ~(program : string) ~(build : unit -> Modul.t) (b : Backend.t) : target =
+  let base = backend_target ?fuel ?cache ~weight ~program ~build b in
+  let measure ~fp m =
+    let c =
+      match cache with
+      | None -> b.Backend.compile m
+      | Some cache ->
+        Cache.get_or_compile cache
+          ~digest:(fp ^ "+" ^ b.Backend.schema)
+          ~codec:
+            {
+              Cache.enc = (fun (c : Backend.compiled) -> c.Backend.encode ());
+              dec = (fun s -> b.Backend.decode m s);
+            }
+          ~compile:(fun () -> b.Backend.compile m)
+    in
+    let r = c.Backend.measure ~vm:b.Backend.name ?fuel () in
+    (match r.Backend.accounting with
+    | Ok () -> ()
+    | Error msg -> raise (Error.Accounting msg));
+    (Zkopt_settle.Settle.price ?arity ?weights ~backend:b.Backend.name r)
+      .Zkopt_settle.Settle.settled_cost
+  in
+  { base with tname = program ^ "@" ^ b.Backend.name ^ "+settled"; measure }
+
 (** The multi-workload objective: one target per workload on backend
     [b], weighted by the reciprocal of each workload's baseline cycle
     count (normalized to the mean baseline) so a sequence is scored by

@@ -39,6 +39,11 @@ type measurement = {
   accounting : (unit, string) result;
       (** the backend's cost-conservation oracle over this run's trace *)
   faulted : bool;  (** an injected executor fault fired during the run *)
+  seg_padded : int list;
+      (** per-segment padded trace area (committed rows after the
+          backend's pow2 padding; a multi-chip backend reports the sum
+          over its tables), in execution order — the proof-size input
+          the settlement models consume *)
 }
 
 type compiled = {

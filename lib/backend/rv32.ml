@@ -24,10 +24,22 @@ let of_compiled ?config (c : Measure.compiled) : Backend.compiled =
       match config with Some cfg -> cfg | None -> Config.by_name vm
     in
     let raw = Measure.run ?fault ?fuel ?sink cfg c in
+    (* mirror the prover's per-segment padding exactly: the settlement
+       models must price the trace the prover actually commits *)
+    let floor = 1 lsl cfg.Config.min_po2 in
+    let seg_padded =
+      List.map
+        (fun (s : Zkopt_zkvm.Executor.segment) ->
+          Zkopt_zkvm.Prover.next_pow2
+            (max floor
+               (s.Zkopt_zkvm.Executor.user_cycles + s.paging_cycles)))
+        raw.Zkopt_zkvm.Vm.exec.Zkopt_zkvm.Executor.segments
+    in
     {
       Backend.zk = Measure.zk_of_vm raw;
       accounting = Zkopt_zkvm.Vm.check_accounting cfg raw;
       faulted = raw.Zkopt_zkvm.Vm.exec.Zkopt_zkvm.Executor.faulted;
+      seg_padded;
     }
   in
   let program = c.Measure.codegen.Zkopt_riscv.Codegen.program in

@@ -41,6 +41,14 @@ type t = {
 
 let recommended_jobs () = Domain.recommended_domain_count ()
 
+(** Coarse host fingerprint for keying throughput baselines: numbers
+    measured on a different machine class must not gate this one.
+    Word size and core count are the two axes that actually move
+    cells/s between hosts we run on. *)
+let machine_fingerprint () =
+  Printf.sprintf "%s-w%d-c%d" Sys.os_type Sys.word_size
+    (Domain.recommended_domain_count ())
+
 (* Poison the current wave: queued tasks are dropped, the exception is
    parked for [wait], and the workers stay alive for the next wave. *)
 let poison_locked pool e =

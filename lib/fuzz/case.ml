@@ -12,7 +12,13 @@
       pass-applied vs unapplied must agree;
     + {b per backend} (differential): each backend's measured
       {!Zkopt_core.Measure.exit64} must equal the reference, and the
-      backend's own accounting-conservation oracle must hold.
+      backend's own accounting-conservation oracle must hold;
+    + {b pricing} (metamorphic): the agreeing backend's measurement,
+      priced through the settlement models
+      ({!Zkopt_settle.Settle.check_invariants}), must price
+      deterministically, its settled cost must dominate the prover
+      component, aggregation depth must equal [ceil (log_arity
+      segments)], and gas must be monotone in the root proof size.
 
     Any exception or oracle violation classifies through the harness
     error taxonomy ({!Zkopt_harness.Error.kind}) tagged with the stage
@@ -200,12 +206,19 @@ type stage =
   | Base  (** the untransformed program itself failed an oracle *)
   | Opt  (** the pipeline broke verification or interpreted semantics *)
   | Vm of string  (** a backend diverged from the interpreter reference *)
+  | Price of string
+      (** a backend's settlement pricing broke a metamorphic invariant
+          (determinism, cost dominance, depth law, gas monotonicity) *)
 
 type divergence = { stage : stage; kind : Error.kind }
 
 type verdict = Agree | Diverged of divergence
 
-let stage_name = function Base -> "base" | Opt -> "opt" | Vm vm -> vm
+let stage_name = function
+  | Base -> "base"
+  | Opt -> "opt"
+  | Vm vm -> vm
+  | Price vm -> "price:" ^ vm
 
 (** The divergence's identity: same key = same bug class at the same
     stage.  Deliberately excludes the concrete checksum values, which
@@ -251,7 +264,11 @@ let run ?(faultplan = Faultplan.none) ?(fuel = default_fuel) (t : t)
     with
     | exception e -> diverge Opt e
     | m ->
-      (* backend stage: every backend must agree with the reference *)
+      (* backend stage: every backend must agree with the reference;
+         once a backend agrees, its measurement flows into the
+         metamorphic pricing oracle (stage [Price]) — the settlement
+         models must price the same trace deterministically and obey
+         the cost-dominance / depth / gas-monotonicity laws *)
       let rec go = function
         | [] -> Agree
         | (b : Backend.t) :: rest -> (
@@ -265,22 +282,36 @@ let run ?(faultplan = Faultplan.none) ?(fuel = default_fuel) (t : t)
             (match r.Backend.accounting with
             | Ok () -> ()
             | Error msg -> raise (Error.Accounting msg));
-            r.Backend.zk.Measure.exit_value
+            r
           with
           | exception e -> diverge (Vm b.Backend.name) e
-          | got when not (Int64.equal got reference) ->
-            Diverged
-              {
-                stage = Vm b.Backend.name;
-                kind =
-                  Error.Miscompile
-                    {
-                      expected = reference;
-                      got;
-                      oracle = "interp-vs-" ^ b.Backend.name;
-                    };
-              }
-          | _ -> go rest)
+          | r -> (
+            let got = r.Backend.zk.Measure.exit_value in
+            if not (Int64.equal got reference) then
+              Diverged
+                {
+                  stage = Vm b.Backend.name;
+                  kind =
+                    Error.Miscompile
+                      {
+                        expected = reference;
+                        got;
+                        oracle = "interp-vs-" ^ b.Backend.name;
+                      };
+                }
+            else
+              match
+                Zkopt_settle.Settle.check_invariants ~backend:b.Backend.name
+                  r
+              with
+              | exception e -> diverge (Price b.Backend.name) e
+              | Error msg ->
+                Diverged
+                  {
+                    stage = Price b.Backend.name;
+                    kind = Error.Accounting_violation msg;
+                  }
+              | Ok () -> go rest))
       in
       go t.backends)
 

@@ -40,12 +40,21 @@ type spec =
       backends : string list option;  (** [None] = every registered backend *)
       limit : int option;
     }
+  | Settle of {
+      programs : string list option;  (** [None] = the full suite *)
+      profiles : string list option;  (** [None] = the standard levels *)
+      backends : string list option;  (** [None] = every registered backend *)
+      quick : bool;
+      arity : int;  (** aggregation fan-in of the recursion tree *)
+    }  (** settlement-cost sweep: prover + aggregation + verification
+           gas per (program, profile, backend) cell *)
 
 let kind_name = function
   | Sweep _ -> "sweep"
   | Profile_cell _ -> "profile"
   | Autotune _ -> "autotune"
   | Fuzz _ -> "fuzz"
+  | Settle _ -> "settle"
 
 (** One submitted job.  [client] tags the submitting connection (the
     unit of failure-budget accounting); [priority] orders the queue
@@ -117,6 +126,16 @@ let spec_to_json : spec -> Json.t = function
        ]
       @ opt_strs "backends" backends
       @ opt_int "limit" limit)
+  | Settle { programs; profiles; backends; quick; arity } ->
+    Json.Obj
+      ([
+         ("kind", Json.Str "settle");
+         ("quick", Json.Bool quick);
+         ("arity", Json.Int arity);
+       ]
+      @ opt_strs "programs" programs
+      @ opt_strs "profiles" profiles
+      @ opt_strs "backends" backends)
 
 let strs_member k j =
   match Json.member k j with
@@ -181,5 +200,15 @@ let spec_of_json (j : Json.t) : (spec, string) result =
            })
     | _ -> Error "fuzz job needs \"seed_lo\" <= \"seed_hi\""
   )
+  | Some "settle" ->
+    Ok
+      (Settle
+         {
+           programs = strs_member "programs" j;
+           profiles = strs_member "profiles" j;
+           backends = strs_member "backends" j;
+           quick;
+           arity = Option.value ~default:8 (Json.int_member "arity" j);
+         })
   | Some k -> Error (Printf.sprintf "unknown job kind %S" k)
   | None -> Error "job spec has no \"kind\""

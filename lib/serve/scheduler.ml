@@ -526,6 +526,66 @@ let exec_fuzz t jr ~seed_lo ~seed_hi ~pipelines ~backends ~limit : exec_result
     | exception e -> Crashed (Printexc.to_string e))
   | exception e -> Crashed (Printexc.to_string e)
 
+let exec_settle t jr ~programs ~profiles ~quick ~backends ~arity :
+    exec_result =
+  let module Ssweep = Zkopt_settle.Ssweep in
+  match
+    let size = size_of_quick quick in
+    let program_names =
+      match programs with Some ps -> ps | None -> Workload.names ()
+    in
+    let programs =
+      List.map
+        (fun name ->
+          let w = Workload.find name in
+          (name, fun () -> w.Workload.build size))
+        program_names
+    in
+    let profile_names =
+      match profiles with
+      | Some ps -> ps
+      | None -> [ "baseline"; "O1"; "O2"; "O3"; "Os"; "Oz"; "zk-o3" ]
+    in
+    let profiles =
+      List.map (fun n -> (Profile.name (profile_of_name n), profile_of_name n))
+        profile_names
+    in
+    let backends =
+      match backends with
+      | None -> Registry.all ()
+      | Some ns -> List.map Registry.find ns
+    in
+    {
+      (Ssweep.default ~jobs:t.pool_jobs ()) with
+      Ssweep.programs;
+      profiles;
+      backends;
+      pool = Some t.pool;
+      cache = Some t.cache;
+      arity = Some arity;
+      checkpoint = Some (ckpt_path t jr);
+      on_row = Some (push_row t jr);
+      stop = stop_for t jr;
+    }
+  with
+  | cfg -> (
+    match Ssweep.run cfg with
+    | o ->
+      if (not o.Ssweep.completed) && stop_for t jr () then interrupted t jr
+      else
+        Completed
+          (Json.Obj
+             [
+               ("rows", Json.Int (List.length o.Ssweep.rows));
+               ("cells", Json.Int o.Ssweep.cells);
+               ("resumed", Json.Int o.Ssweep.replayed);
+               ("completed", Json.Bool o.Ssweep.completed);
+             ])
+    | exception e ->
+      spend t jr 1;
+      Crashed (Printexc.to_string e))
+  | exception e -> Crashed (Printexc.to_string e)
+
 let exec_job t (jr : jobrec) : exec_result =
   match remaining_budget t jr with
   | Some b when b <= 0 ->
@@ -540,7 +600,9 @@ let exec_job t (jr : jobrec) : exec_result =
     | Job.Autotune { program; iters; vm; quick; seed; population } ->
       exec_autotune t jr ~program ~iters ~vm ~quick ~seed ~population
     | Job.Fuzz { seed_lo; seed_hi; pipelines; backends; limit } ->
-      exec_fuzz t jr ~seed_lo ~seed_hi ~pipelines ~backends ~limit)
+      exec_fuzz t jr ~seed_lo ~seed_hi ~pipelines ~backends ~limit
+    | Job.Settle { programs; profiles; backends; quick; arity } ->
+      exec_settle t jr ~programs ~profiles ~quick ~backends ~arity)
 
 (* ---- dispatcher ------------------------------------------------------ *)
 

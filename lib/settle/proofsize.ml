@@ -1,0 +1,33 @@
+(** STARK proof-size model.
+
+    A segment (or aggregation-node) proof over a padded trace area of
+    [n] committed rows carries:
+
+    - the commitment roots;
+    - per FRI query: one opened row ([columns * field_bytes]) plus a
+      Merkle authentication path of [ceil_log2 n] hashes;
+    - the final-polynomial tail.
+
+    The only non-constant term is the Merkle path depth, so proof size
+    is monotone and O(log N) in the padded area — the property the
+    pricing oracle checks and the gas model leans on. *)
+
+(** [ceil_log2 n] for [n >= 1]; 0 for smaller inputs. *)
+let ceil_log2 (n : int) : int =
+  if n <= 1 then 0
+  else
+    let rec go p l = if p >= n then l else go (p * 2) (l + 1) in
+    go 1 0
+
+(** Proof bytes for one proof over [padded] committed rows. *)
+let bytes (p : Sparams.t) ~(padded : int) : int =
+  let depth = ceil_log2 padded in
+  (p.Sparams.commit_roots * p.Sparams.commit_bytes)
+  + p.Sparams.queries
+    * ((p.Sparams.columns * p.Sparams.field_bytes)
+      + (depth * p.Sparams.path_bytes))
+  + p.Sparams.fri_final_bytes
+
+(** Total proof bytes over a list of per-segment padded areas. *)
+let total (p : Sparams.t) ~(seg_padded : int list) : int =
+  List.fold_left (fun acc n -> acc + bytes p ~padded:n) 0 seg_padded

@@ -35,10 +35,21 @@ let of_program (p : Visa.program) : Backend.compiled =
       invalid_arg
         (Printf.sprintf "valida artifact cannot price backend %S" vm);
     let r = Vexec.run ?fault ?fuel ?sink cfg p in
+    (* per-segment committed area = the sum of the three chips' padded
+       tables, exactly as {!Vprover.prove} prices them *)
+    let floor = 1 lsl cfg.Vconfig.min_po2 in
+    let pad rows = Zkopt_zkvm.Prover.next_pow2 (max floor rows) in
+    let seg_padded =
+      List.map
+        (fun (s : Vexec.segment) ->
+          pad s.Vexec.cpu_rows + pad s.Vexec.alu_rows + pad s.Vexec.mem_rows)
+        r.Vexec.segments
+    in
     {
       Backend.zk = zk_of_run r;
       accounting = Vexec.check_accounting r;
       faulted = r.Vexec.faulted;
+      seg_padded;
     }
   in
   {

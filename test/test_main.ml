@@ -17,4 +17,5 @@ let () =
       ("fuzz", Test_fuzz.tests);
       ("autotune", Test_autotune.tests);
       ("serve", Test_serve.tests);
+      ("settle", Test_settle.tests);
     ]
